@@ -1,0 +1,81 @@
+"""Figure 4: dataset statistics for the three instances.
+
+The paper tabulates users / social edges / documents / fragments / tags /
+keywords per instance, plus the retweet share for I1 and the observation
+that keyword extension grows workloads by ~50%.  Absolute counts are
+scale-bound (our instances are laptop-scale); the bench reports the same
+rows and the scale-free ratios next to the paper's values.
+"""
+
+from statistics import fmean
+
+import pytest
+
+from repro.core import S3kSearch
+from repro.datasets import build_twitter_instance, compute_stats
+from repro.eval import format_table
+from repro.queries import WorkloadBuilder
+
+from benchmarks.conftest import I1_CONFIG, write_result
+
+
+@pytest.mark.parametrize("name", ["I1", "I2", "I3"])
+def test_instance_statistics(
+    benchmark, name, twitter_instance, vodkaster_instance, yelp_instance
+):
+    instance = {
+        "I1": twitter_instance,
+        "I2": vodkaster_instance,
+        "I3": yelp_instance,
+    }[name]
+    stats = benchmark.pedantic(compute_stats, args=(instance,), rounds=1, iterations=1)
+    rows = [[k, v] for k, v in stats.rows().items()]
+    write_result(
+        f"fig4_stats_{name}", format_table(["statistic", "value"], rows, title=f"Figure 4 — {name}")
+    )
+    assert stats.users > 0 and stats.documents > 0
+
+
+def test_retweet_and_reply_shares(benchmark):
+    dataset = benchmark.pedantic(
+        build_twitter_instance, args=(I1_CONFIG,), rounds=1, iterations=1
+    )
+    retweet_share = dataset.n_retweets / dataset.n_tweets
+    reply_share = dataset.n_replies / dataset.n_tweets
+    write_result(
+        "fig4_shares",
+        format_table(
+            ["ratio", "paper", "measured"],
+            [
+                ["retweets / tweets", "85%", f"{retweet_share:.0%}"],
+                ["replies / tweets", "6.9%", f"{reply_share:.1%}"],
+            ],
+            title="Figure 4 — I1 stream composition",
+        ),
+    )
+    assert 0.7 <= retweet_share <= 0.95
+
+
+def test_keyword_extension_growth(benchmark, twitter_instance, engines):
+    """§5.1: 'injecting semantics ... increased their size on average by 50%'."""
+    engine: S3kSearch = engines.s3k(twitter_instance)
+    builder = WorkloadBuilder(twitter_instance, seed=19)
+    workload = builder.build("+", 5, 5, 10)
+
+    def growth() -> float:
+        growths = []
+        for spec in workload.queries:
+            result = engine.search(spec.seeker, spec.keywords, k=spec.k)
+            growths.append(result.extended_keyword_count / len(result.keywords))
+        return fmean(growths)
+
+    factor = benchmark.pedantic(growth, rounds=1, iterations=1)
+    write_result(
+        "fig4_extension_growth",
+        format_table(
+            ["quantity", "paper", "measured"],
+            [["avg extended size / query size", "+50%", f"+{(factor - 1):.0%}"]],
+            title="§5.1 — workload growth under keyword extension",
+        ),
+    )
+    assert factor > 1.0

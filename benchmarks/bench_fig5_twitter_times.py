@@ -1,0 +1,102 @@
+"""Figure 5: query answering times on I1 (Twitter).
+
+The paper plots, for each of the 8 workloads ``qset_{f,l,k}``, the median
+run time of S3k with γ ∈ {1.25, 1.5, 2} and of TopkS with α ∈ {0.25, 0.5,
+0.75}.  Expected shapes (paper §5.3): TopkS consistently faster than S3k
+(it follows a single shortest path instead of aggregating all paths);
+smaller γ → faster S3k; larger α → slower TopkS; rare-keyword workloads
+faster than frequent ones.
+"""
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.eval import format_table
+from repro.queries import WorkloadBuilder, run_workload, s3k_runner, topks_runner
+
+from benchmarks.conftest import QUERIES_PER_WORKLOAD, write_result
+
+WORKLOAD_GRID = [
+    (f, l, k) for f in ("+", "-") for l in (1, 5) for k in (5, 10)
+]
+S3K_GAMMAS = (1.25, 1.5, 2.0)
+TOPKS_ALPHAS = (0.75, 0.5, 0.25)
+
+#: (engine label, workload label) -> median seconds; filled by the
+#: parametrized benches, reported by the final test of the module.
+MEDIANS: Dict[Tuple[str, str], float] = {}
+
+
+def _workload(instance, f, l, k):
+    builder = WorkloadBuilder(instance, seed=23)
+    return builder.build(f, l, k, QUERIES_PER_WORKLOAD)
+
+
+@pytest.mark.parametrize("f,l,k", WORKLOAD_GRID)
+@pytest.mark.parametrize("gamma", S3K_GAMMAS)
+def test_s3k_workload(benchmark, twitter_instance, engines, f, l, k, gamma):
+    engine = engines.s3k(twitter_instance, gamma=gamma)
+    workload = _workload(twitter_instance, f, l, k)
+    summary = benchmark.pedantic(
+        run_workload, args=(s3k_runner(engine), workload), rounds=1, iterations=1
+    )
+    MEDIANS[(f"S3k γ={gamma}", workload.name)] = summary.median
+    assert summary.times
+
+
+@pytest.mark.parametrize("f,l,k", WORKLOAD_GRID)
+@pytest.mark.parametrize("alpha", TOPKS_ALPHAS)
+def test_topks_workload(benchmark, twitter_instance, engines, f, l, k, alpha):
+    searcher = engines.topks(twitter_instance, alpha=alpha)
+    workload = _workload(twitter_instance, f, l, k)
+    summary = benchmark.pedantic(
+        run_workload, args=(topks_runner(searcher), workload), rounds=1, iterations=1
+    )
+    MEDIANS[(f"TopkS α={alpha}", workload.name)] = summary.median
+    assert summary.times
+
+
+def test_zz_report(benchmark):
+    """Assemble the Figure 5 table from the collected medians."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    engines_order = [f"S3k γ={g}" for g in S3K_GAMMAS] + [
+        f"TopkS α={a}" for a in TOPKS_ALPHAS
+    ]
+    workloads = [f"qset({f},{l},{k})" for f, l, k in WORKLOAD_GRID]
+    rows = []
+    for workload in workloads:
+        rows.append(
+            [workload]
+            + [
+                f"{MEDIANS.get((engine, workload), float('nan')) * 1000:.1f}"
+                for engine in engines_order
+            ]
+        )
+    table = format_table(
+        ["workload"] + [f"{e} (ms)" for e in engines_order],
+        rows,
+        title="Figure 5 — median query time on I1 (ms)",
+    )
+    shape_notes = []
+    # Shape check 1: TopkS faster than S3k on average.
+    s3k_medians = [v for (e, _), v in MEDIANS.items() if e.startswith("S3k")]
+    topks_medians = [v for (e, _), v in MEDIANS.items() if e.startswith("TopkS")]
+    if s3k_medians and topks_medians:
+        ratio = (sum(s3k_medians) / len(s3k_medians)) / max(
+            sum(topks_medians) / len(topks_medians), 1e-9
+        )
+        shape_notes.append(
+            f"avg S3k / avg TopkS = {ratio:.1f}x (paper: TopkS consistently faster)"
+        )
+    # Shape check 2: γ ordering for S3k.
+    for small, large in ((1.25, 2.0),):
+        fast = sum(v for (e, _), v in MEDIANS.items() if e == f"S3k γ={small}")
+        slow = sum(v for (e, _), v in MEDIANS.items() if e == f"S3k γ={large}")
+        shape_notes.append(
+            f"S3k total: γ={small}: {fast * 1000:.0f}ms vs γ={large}: "
+            f"{slow * 1000:.0f}ms (Definition 3.5: larger γ damps long "
+            "paths harder, so exploration stops earlier)"
+        )
+    write_result("fig5_twitter_times", table + "\n" + "\n".join(shape_notes))
+    assert MEDIANS

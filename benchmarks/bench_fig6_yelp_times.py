@@ -1,0 +1,72 @@
+"""Figure 6: query answering times on I3 (Yelp).
+
+Same grid as Figure 5 — 8 workloads × S3k γ ∈ {1.25, 1.5, 2} × TopkS
+α ∈ {0.25, 0.5, 0.75} — on the Yelp-shaped instance with its long review
+chains (large components).
+"""
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.eval import format_table
+from repro.queries import WorkloadBuilder, run_workload, s3k_runner, topks_runner
+
+from benchmarks.conftest import QUERIES_PER_WORKLOAD, write_result
+
+WORKLOAD_GRID = [(f, l, k) for f in ("+", "-") for l in (1, 5) for k in (5, 10)]
+S3K_GAMMAS = (1.25, 1.5, 2.0)
+TOPKS_ALPHAS = (0.75, 0.5, 0.25)
+
+MEDIANS: Dict[Tuple[str, str], float] = {}
+
+
+def _workload(instance, f, l, k):
+    return WorkloadBuilder(instance, seed=29).build(f, l, k, QUERIES_PER_WORKLOAD)
+
+
+@pytest.mark.parametrize("f,l,k", WORKLOAD_GRID)
+@pytest.mark.parametrize("gamma", S3K_GAMMAS)
+def test_s3k_workload(benchmark, yelp_instance, engines, f, l, k, gamma):
+    engine = engines.s3k(yelp_instance, gamma=gamma)
+    workload = _workload(yelp_instance, f, l, k)
+    summary = benchmark.pedantic(
+        run_workload, args=(s3k_runner(engine), workload), rounds=1, iterations=1
+    )
+    MEDIANS[(f"S3k γ={gamma}", workload.name)] = summary.median
+    assert summary.times
+
+
+@pytest.mark.parametrize("f,l,k", WORKLOAD_GRID)
+@pytest.mark.parametrize("alpha", TOPKS_ALPHAS)
+def test_topks_workload(benchmark, yelp_instance, engines, f, l, k, alpha):
+    searcher = engines.topks(yelp_instance, alpha=alpha)
+    workload = _workload(yelp_instance, f, l, k)
+    summary = benchmark.pedantic(
+        run_workload, args=(topks_runner(searcher), workload), rounds=1, iterations=1
+    )
+    MEDIANS[(f"TopkS α={alpha}", workload.name)] = summary.median
+    assert summary.times
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    engine_order = [f"S3k γ={g}" for g in S3K_GAMMAS] + [
+        f"TopkS α={a}" for a in TOPKS_ALPHAS
+    ]
+    rows = []
+    for f, l, k in WORKLOAD_GRID:
+        name = f"qset({f},{l},{k})"
+        rows.append(
+            [name]
+            + [f"{MEDIANS.get((e, name), float('nan')) * 1000:.1f}" for e in engine_order]
+        )
+    write_result(
+        "fig6_yelp_times",
+        format_table(
+            ["workload"] + [f"{e} (ms)" for e in engine_order],
+            rows,
+            title="Figure 6 — median query time on I3 (ms)",
+        ),
+    )
+    assert MEDIANS

@@ -1,0 +1,61 @@
+"""§5.3: query answering times on I2 (Vodkaster).
+
+The paper states the results on the smaller I2 instance are "similar" to
+Figures 5/6 and defers them to the technical report; this bench
+regenerates them with the same grid.
+"""
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.eval import format_table
+from repro.queries import WorkloadBuilder, run_workload, s3k_runner, topks_runner
+
+from benchmarks.conftest import QUERIES_PER_WORKLOAD, write_result
+
+WORKLOAD_GRID = [(f, l, k) for f in ("+", "-") for l in (1, 5) for k in (5, 10)]
+
+MEDIANS: Dict[Tuple[str, str], float] = {}
+
+
+@pytest.mark.parametrize("f,l,k", WORKLOAD_GRID)
+@pytest.mark.parametrize("engine_kind", ["s3k_1.5", "s3k_2.0", "topks_0.5"])
+def test_workload(benchmark, vodkaster_instance, engines, f, l, k, engine_kind):
+    workload = WorkloadBuilder(vodkaster_instance, seed=31).build(
+        f, l, k, QUERIES_PER_WORKLOAD
+    )
+    if engine_kind.startswith("s3k"):
+        engine = engines.s3k(vodkaster_instance, gamma=float(engine_kind.split("_")[1]))
+        runner = s3k_runner(engine)
+        label = f"S3k γ={engine_kind.split('_')[1]}"
+    else:
+        searcher = engines.topks(vodkaster_instance, alpha=0.5)
+        runner = topks_runner(searcher)
+        label = "TopkS α=0.5"
+    summary = benchmark.pedantic(
+        run_workload, args=(runner, workload), rounds=1, iterations=1
+    )
+    MEDIANS[(label, workload.name)] = summary.median
+    assert summary.times
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    engine_order = ["S3k γ=1.5", "S3k γ=2.0", "TopkS α=0.5"]
+    rows = []
+    for f, l, k in WORKLOAD_GRID:
+        name = f"qset({f},{l},{k})"
+        rows.append(
+            [name]
+            + [f"{MEDIANS.get((e, name), float('nan')) * 1000:.1f}" for e in engine_order]
+        )
+    write_result(
+        "fig6b_vodkaster_times",
+        format_table(
+            ["workload"] + [f"{e} (ms)" for e in engine_order],
+            rows,
+            title="§5.3 — median query time on I2 (ms)",
+        ),
+    )
+    assert MEDIANS

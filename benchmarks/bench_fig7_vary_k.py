@@ -1,0 +1,72 @@
+"""Figure 7: run-time quartiles on I1 while varying k.
+
+The paper plots min / Q1 / median / Q3 / max run times for l=1 workloads
+with k ∈ {1, 5, 10, 50} and S3k γ ∈ {1.5, 4}.  Expected shapes (§5.3):
+rare-keyword workloads are faster than frequent ones; with frequent
+keywords, growing k leaves the three fastest quartiles mostly unchanged
+but significantly slows the slowest quartile.
+"""
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.eval import format_table
+from repro.queries import WorkloadBuilder, run_workload, s3k_runner
+
+from benchmarks.conftest import QUERIES_PER_WORKLOAD, write_result
+
+KS = (1, 5, 10, 50)
+GAMMAS = (1.5, 4.0)
+
+QUARTILES: Dict[Tuple[str, str], Dict[str, float]] = {}
+
+
+@pytest.mark.parametrize("f", ["+", "-"])
+@pytest.mark.parametrize("k", KS)
+@pytest.mark.parametrize("gamma", GAMMAS)
+def test_vary_k(benchmark, twitter_instance, engines, f, k, gamma):
+    engine = engines.s3k(twitter_instance, gamma=gamma)
+    workload = WorkloadBuilder(twitter_instance, seed=37).build(
+        f, 1, k, QUERIES_PER_WORKLOAD
+    )
+    summary = benchmark.pedantic(
+        run_workload, args=(s3k_runner(engine), workload), rounds=1, iterations=1
+    )
+    QUARTILES[(f"γ={gamma}", f"({f},1,{k})")] = summary.quartiles()
+    assert summary.times
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for gamma in GAMMAS:
+        for f in ("+", "-"):
+            for k in KS:
+                quartiles = QUARTILES.get((f"γ={gamma}", f"({f},1,{k})"))
+                if quartiles is None:
+                    continue
+                rows.append(
+                    [
+                        f"γ={gamma}",
+                        f"({f},1,{k})",
+                        *(f"{quartiles[q] * 1000:.1f}" for q in ("min", "q1", "median", "q3", "max")),
+                    ]
+                )
+    table = format_table(
+        ["engine", "workload", "min", "q1", "median", "q3", "max"],
+        rows,
+        title="Figure 7 — run-time quartiles on I1 varying k (ms)",
+    )
+    notes = []
+    for gamma in GAMMAS:
+        small = QUARTILES.get((f"γ={gamma}", "(+,1,1)"))
+        large = QUARTILES.get((f"γ={gamma}", "(+,1,50)"))
+        if small and large:
+            notes.append(
+                f"γ={gamma} frequent keywords: max k=1 {small['max']*1000:.1f}ms vs "
+                f"k=50 {large['max']*1000:.1f}ms; median {small['median']*1000:.1f} vs "
+                f"{large['median']*1000:.1f}ms (paper: mostly the slowest quartile grows)"
+            )
+    write_result("fig7_vary_k", table + "\n" + "\n".join(notes))
+    assert QUARTILES

@@ -1,0 +1,90 @@
+"""Shared fixtures for the benchmark harness.
+
+One laptop-scale instance per dataset (I1 Twitter-shaped, I2 Vodkaster-
+shaped, I3 Yelp-shaped), built once per session, plus cached S3k engines
+and UIT flattenings.  Figure outputs are written to
+``benchmarks/results/<name>.txt`` so runs leave a comparable artifact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.baselines import TopkSSearcher, uit_from_instance
+from repro.core import S3kScore, S3kSearch
+from repro.datasets import (
+    TwitterConfig,
+    VodkasterConfig,
+    YelpConfig,
+    build_twitter_instance,
+    build_vodkaster_instance,
+    build_yelp_instance,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Bench-scale configurations (paper ratios, laptop sizes).
+I1_CONFIG = TwitterConfig(n_users=400, n_statuses=1200, seed=41)
+I2_CONFIG = VodkasterConfig(n_users=200, n_movies=60, n_comments=450, seed=41)
+I3_CONFIG = YelpConfig(n_users=300, n_businesses=50, n_reviews=550, seed=41)
+
+#: Queries per workload in benches (the paper used 100 per workload).
+QUERIES_PER_WORKLOAD = 10
+
+
+@pytest.fixture(scope="session")
+def twitter_instance():
+    return build_twitter_instance(I1_CONFIG).instance
+
+
+@pytest.fixture(scope="session")
+def vodkaster_instance():
+    return build_vodkaster_instance(I2_CONFIG).instance
+
+
+@pytest.fixture(scope="session")
+def yelp_instance():
+    return build_yelp_instance(I3_CONFIG).instance
+
+
+class EngineCache:
+    """Builds S3k engines / TopkS searchers once per (instance, params)."""
+
+    def __init__(self) -> None:
+        self._s3k: Dict[Tuple[int, float, bool], S3kSearch] = {}
+        self._uit: Dict[int, Tuple[object, dict]] = {}
+
+    def s3k(self, instance, gamma: float = 2.0, use_matrix: bool = True) -> S3kSearch:
+        key = (id(instance), gamma, use_matrix)
+        if key not in self._s3k:
+            self._s3k[key] = S3kSearch(
+                instance, score=S3kScore(gamma=gamma), use_matrix=use_matrix
+            )
+        return self._s3k[key]
+
+    def topks(self, instance, alpha: float) -> TopkSSearcher:
+        if id(instance) not in self._uit:
+            self._uit[id(instance)] = uit_from_instance(instance)
+        dataset, _ = self._uit[id(instance)]
+        return TopkSSearcher(dataset, alpha=alpha)
+
+    def uit(self, instance):
+        if id(instance) not in self._uit:
+            self._uit[id(instance)] = uit_from_instance(instance)
+        return self._uit[id(instance)]
+
+
+@pytest.fixture(scope="session")
+def engines() -> EngineCache:
+    return EngineCache()
+
+
+def write_result(name: str, content: str) -> None:
+    """Persist a figure table under benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(content + "\n")
+    print(f"\n{content}\n[written to {path}]")

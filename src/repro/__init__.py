@@ -1,0 +1,55 @@
+"""repro — reproduction of "Social, Structured and Semantic Search" (EDBT 2016).
+
+The package implements the **S3 data model** (a weighted RDF graph
+integrating a social network, structured documents, tags and semantics)
+and the **S3k top-k keyword search algorithm**, together with the TopkS
+baseline, dataset generators shaped after the paper's Twitter / Vodkaster
+/ Yelp instances, and the full experiment harness of Section 5.
+
+Quickstart::
+
+    from repro import S3Instance, S3kSearch, parse_text, Tag
+
+    instance = S3Instance()
+    instance.add_social_edge("u:alice", "u:bob", 0.8)
+    instance.add_document(parse_text("d:post", "A degree helps"), posted_by="u:bob")
+    instance.add_tag(Tag("t:1", "d:post", "u:alice", keyword="degre"))
+    instance.saturate()
+
+    engine = S3kSearch(instance)
+    for result in engine.search("u:alice", ["degre"], k=3).results:
+        print(result.uri, result.lower, result.upper)
+"""
+
+from .core import (
+    S3Instance,
+    S3kScore,
+    S3kSearch,
+    SearchResult,
+    exact_top_k,
+    keyword_extension,
+)
+from .documents import Document, DocumentNode, parse_json, parse_text, parse_xml
+from .rdf import Literal, RDFGraph, URI
+from .social import SocialNetwork, Tag
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "S3Instance",
+    "S3kSearch",
+    "S3kScore",
+    "SearchResult",
+    "keyword_extension",
+    "exact_top_k",
+    "Document",
+    "DocumentNode",
+    "parse_xml",
+    "parse_json",
+    "parse_text",
+    "RDFGraph",
+    "URI",
+    "Literal",
+    "SocialNetwork",
+    "Tag",
+]

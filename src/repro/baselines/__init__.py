@@ -1,0 +1,13 @@
+"""Baselines: the UIT model and the TopkS search engine of [18]."""
+
+from .adapter import uit_from_instance
+from .topks import TopkSRanked, TopkSResult, TopkSSearcher
+from .uit import UITDataset
+
+__all__ = [
+    "UITDataset",
+    "uit_from_instance",
+    "TopkSSearcher",
+    "TopkSResult",
+    "TopkSRanked",
+]

@@ -1,0 +1,72 @@
+"""Adapter from an S3 instance to the UIT model (Section 5.1).
+
+The paper flattens its instances for TopkS: *"every tweet was merged with
+all its retweets and replies into a single item"* and *"every keyword k in
+the content of a tweet that is represented by item i posted by user u led
+to introducing the (user, item, tag) triple (u, i, k)"*; for Vodkaster and
+Yelp *"each movie or business becomes an item"*.
+
+Generically: every connected component of documents and tags (a post with
+its comment chain and annotations — exactly a movie's or business's review
+thread in I2/I3) becomes one item; document keyword content turns into
+(poster, item, keyword) triples; keyword tags into (author, item, keyword)
+triples; user-user relations keep their weights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..core.components import ComponentIndex
+from ..core.instance import S3Instance
+from ..rdf.namespaces import S3_POSTED_BY, S3_SOCIAL
+from ..rdf.terms import URI
+from .uit import UITDataset
+
+
+def uit_from_instance(
+    instance: S3Instance,
+    component_index: ComponentIndex | None = None,
+) -> Tuple[UITDataset, Dict[URI, str]]:
+    """Flatten *instance* into a :class:`UITDataset`.
+
+    Returns the dataset and the mapping from every document node URI to its
+    item identifier (used by the qualitative measures to compare S3k
+    results against TopkS results).
+    """
+    if component_index is None:
+        component_index = ComponentIndex(instance)
+    dataset = UITDataset()
+    doc_to_item: Dict[URI, str] = {}
+
+    for user in instance.users:
+        dataset.add_user(str(user))
+    for wt in instance.graph.triples(predicate=S3_SOCIAL):
+        if isinstance(wt.object, URI) and wt.weight > 0.0:
+            dataset.add_link(str(wt.subject), str(wt.object), wt.weight)
+
+    for component in component_index.components():
+        item = f"item:{component.ident}"
+        poster_of: Dict[URI, str] = {}
+        for root in component.roots:
+            posters = [
+                str(o)
+                for o in instance.graph.objects(root, S3_POSTED_BY)
+                if isinstance(o, URI)
+            ]
+            if posters:
+                poster_of[root] = posters[0]
+        for node_uri in component.nodes:
+            doc_to_item[node_uri] = item
+            root = instance.node_to_document[node_uri]
+            poster = poster_of.get(root)
+            if poster is None:
+                continue
+            node = instance.documents[root].node(node_uri)
+            for keyword in node.keywords:
+                dataset.add_triple(poster, item, str(keyword))
+        for tag_uri in component.tags:
+            tag = instance.tags[tag_uri]
+            if tag.keyword is not None:
+                dataset.add_triple(str(tag.author), item, str(tag.keyword))
+    return dataset, doc_to_item

@@ -1,0 +1,212 @@
+"""TopkS: the network-aware UIT top-k baseline (Maniu & Cautis, CIKM'13).
+
+As characterized in the paper (Sections 5.1 and 5.3): items carry no
+structure or semantics; the social proximity between two users follows the
+single *best (shortest) path* — the maximum product of link weights,
+computed with a Dijkstra-style expansion; the item score blends a social
+and a content part:
+
+    ``score(i) = Σ_{t ∈ φ} [ α · social(i, t) + (1 − α) · content(i, t) ]``
+
+with ``social(i, t) = Σ_{u' tagged (i, t)} prox(u, u') · count(u', i, t)``
+and ``content(i, t) = count(i, t) / max_j count(j, t)``.
+
+The search visits users in decreasing proximity order (the instance-
+optimal strategy of the original system): after each visited user, any
+still-unseen tagger's proximity is bounded by the expansion frontier, so
+per-item upper bounds — and a sound early-termination test — follow.
+Larger ``α`` makes the social part dominant and forces deeper exploration,
+reproducing the ``α``-runtime trend of Figures 5 and 6.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .uit import UITDataset
+
+
+@dataclass(frozen=True)
+class TopkSRanked:
+    """One ranked item with its (final) score bounds."""
+
+    item: str
+    lower: float
+    upper: float
+
+
+@dataclass
+class TopkSResult:
+    """Outcome of one TopkS query."""
+
+    seeker: str
+    keywords: Tuple[str, ...]
+    k: int
+    results: List[TopkSRanked]
+    users_visited: int
+    elapsed_seconds: float
+    items_examined: Set[str] = field(default_factory=set)
+
+    @property
+    def items(self) -> List[str]:
+        return [r.item for r in self.results]
+
+
+class _ProximityExpander:
+    """Lazy best-path (max weight product) expansion from a seeker."""
+
+    def __init__(self, dataset: UITDataset, seeker: str):
+        self._dataset = dataset
+        self._best: Dict[str, float] = {}
+        self._heap: List[Tuple[float, str]] = [(-1.0, seeker)]
+
+    def __iter__(self) -> Iterator[Tuple[str, float]]:
+        while self._heap:
+            negative, user = heapq.heappop(self._heap)
+            proximity = -negative
+            if user in self._best:
+                continue
+            self._best[user] = proximity
+            for neighbor, weight in self._dataset.links_of(user).items():
+                if neighbor not in self._best and weight > 0.0:
+                    heapq.heappush(self._heap, (-(proximity * weight), neighbor))
+            yield user, proximity
+
+    def frontier(self) -> float:
+        """Upper bound on the proximity of any not-yet-visited user."""
+        while self._heap and self._heap[0][1] in self._best:
+            heapq.heappop(self._heap)
+        return -self._heap[0][0] if self._heap else 0.0
+
+
+class TopkSSearcher:
+    """The TopkS baseline engine over a :class:`UITDataset`."""
+
+    def __init__(self, dataset: UITDataset, alpha: float = 0.5):
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        self.dataset = dataset
+        self.alpha = alpha
+
+    # ------------------------------------------------------------------
+    def _content_scores(self, keywords: Sequence[str]) -> Dict[str, Dict[str, float]]:
+        """keyword -> item -> normalized content score (exact, index-only)."""
+        scores: Dict[str, Dict[str, float]] = {}
+        for keyword in keywords:
+            items = self.dataset.items_with_tag(keyword)
+            best = max(items.values()) if items else 0
+            scores[keyword] = (
+                {item: count / best for item, count in items.items()} if best else {}
+            )
+        return scores
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        seeker: str,
+        keywords: Sequence[str],
+        k: int = 5,
+        max_users: Optional[int] = None,
+    ) -> TopkSResult:
+        """Top-k UIT search with early termination.
+
+        *max_users* optionally caps the exploration (anytime behaviour).
+        """
+        started = time.perf_counter()
+        query = list(dict.fromkeys(str(kw) for kw in keywords))
+        content = self._content_scores(query)
+        alpha = self.alpha
+
+        # All items that can ever score > 0, with exact content part and
+        # per-keyword outstanding tagger multiplicities.
+        social: Dict[str, Dict[str, float]] = {}
+        outstanding: Dict[str, Dict[str, int]] = {}
+        base: Dict[str, float] = {}
+        for keyword in query:
+            for item, count in self.dataset.items_with_tag(keyword).items():
+                social.setdefault(item, {})[keyword] = 0.0
+                outstanding.setdefault(item, {})[keyword] = count
+                base[item] = base.get(item, 0.0) + (1 - alpha) * content[keyword][item]
+
+        expander = _ProximityExpander(self.dataset, seeker)
+        visited = 0
+        examined: Set[str] = set(base)
+
+        def bounds() -> Tuple[List[Tuple[str, float]], float, Dict[str, float]]:
+            frontier = expander.frontier()
+            lowers: List[Tuple[str, float]] = []
+            uppers: Dict[str, float] = {}
+            for item, per_keyword in social.items():
+                lower = base[item] + alpha * sum(per_keyword.values())
+                pending = sum(outstanding[item].values())
+                uppers[item] = lower + alpha * pending * frontier
+                lowers.append((item, lower))
+            lowers.sort(key=lambda pair: (-pair[1], pair[0]))
+            return lowers, frontier, uppers
+
+        stopped_early = False
+        for user, proximity in expander:
+            visited += 1
+            for keyword in query:
+                for item in list(social):
+                    taggers = self.dataset.taggers(item, keyword)
+                    count = taggers.get(user, 0)
+                    if count:
+                        social[item][keyword] += proximity * count
+                        outstanding[item][keyword] -= count
+            if visited % 8 == 0 or (max_users and visited >= max_users):
+                lowers, frontier, uppers = bounds()
+                if len(lowers) <= k:
+                    if frontier == 0.0 or all(
+                        sum(out.values()) == 0 for out in outstanding.values()
+                    ):
+                        stopped_early = True
+                        break
+                else:
+                    kth = lowers[k - 1][1]
+                    if all(
+                        uppers[item] <= kth + 1e-12
+                        for item, _ in lowers[k:]
+                    ):
+                        stopped_early = True
+                        break
+                if max_users and visited >= max_users:
+                    break
+
+        lowers, frontier, uppers = bounds()
+        top = lowers[:k]
+        results = [TopkSRanked(item, low, uppers[item]) for item, low in top]
+        return TopkSResult(
+            seeker=seeker,
+            keywords=tuple(query),
+            k=k,
+            results=results,
+            users_visited=visited,
+            elapsed_seconds=time.perf_counter() - started,
+            items_examined=examined,
+        )
+
+    # ------------------------------------------------------------------
+    def exact_scores(self, seeker: str, keywords: Sequence[str]) -> Dict[str, float]:
+        """Exhaustive scoring (oracle for tests)."""
+        query = list(dict.fromkeys(str(kw) for kw in keywords))
+        content = self._content_scores(query)
+        proximity: Dict[str, float] = {}
+        for user, prox in _ProximityExpander(self.dataset, seeker):
+            proximity[user] = prox
+        scores: Dict[str, float] = {}
+        for keyword in query:
+            for item, count in self.dataset.items_with_tag(keyword).items():
+                social = sum(
+                    proximity.get(user, 0.0) * mult
+                    for user, mult in self.dataset.taggers(item, keyword).items()
+                )
+                scores[item] = (
+                    scores.get(item, 0.0)
+                    + self.alpha * social
+                    + (1 - self.alpha) * content[keyword][item]
+                )
+        return scores

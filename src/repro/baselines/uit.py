@@ -1,0 +1,107 @@
+"""The UIT (user-item-tag) data model used by the TopkS baseline.
+
+The model of [18, 21, 30] as described in Sections 1 and 5.1 of the paper:
+social network users with weighted links, atomic items (no internal
+structure, no semantics), and (user, item, tag) triples recording that a
+user tagged an item with a keyword.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Set, Tuple
+
+
+class UITDataset:
+    """Users, weighted user links and (user, item, tag) triples."""
+
+    def __init__(self) -> None:
+        self.users: Set[str] = set()
+        self.items: Set[str] = set()
+        self._links: Dict[str, Dict[str, float]] = defaultdict(dict)
+        #: (item, tag) -> user -> multiplicity
+        self._taggers: Dict[Tuple[str, str], Dict[str, int]] = defaultdict(dict)
+        #: tag -> item -> total count
+        self._tag_items: Dict[str, Dict[str, int]] = defaultdict(dict)
+
+    # ------------------------------------------------------------------
+    def add_user(self, user: str) -> None:
+        self.users.add(user)
+
+    def add_link(self, source: str, target: str, weight: float) -> None:
+        """Add a weighted social link (max weight wins on duplicates)."""
+        if not 0.0 <= weight <= 1.0:
+            raise ValueError(f"link weight must be in [0, 1], got {weight}")
+        self.users.add(source)
+        self.users.add(target)
+        current = self._links[source].get(target, 0.0)
+        if weight > current:
+            self._links[source][target] = weight
+
+    def add_triple(self, user: str, item: str, tag: str) -> None:
+        """Record one (user, item, tag) tagging action."""
+        self.users.add(user)
+        self.items.add(item)
+        taggers = self._taggers[(item, tag)]
+        taggers[user] = taggers.get(user, 0) + 1
+        items = self._tag_items[tag]
+        items[item] = items.get(item, 0) + 1
+
+    # ------------------------------------------------------------------
+    def links_of(self, user: str) -> Dict[str, float]:
+        return dict(self._links.get(user, {}))
+
+    def link_count(self) -> int:
+        return sum(len(targets) for targets in self._links.values())
+
+    def taggers(self, item: str, tag: str) -> Dict[str, int]:
+        """user → multiplicity for the given (item, tag)."""
+        return dict(self._taggers.get((item, tag), {}))
+
+    def items_with_tag(self, tag: str) -> Dict[str, int]:
+        """item → total count of *tag* on it."""
+        return dict(self._tag_items.get(tag, {}))
+
+    def tag_count(self, item: str, tag: str) -> int:
+        return sum(self._taggers.get((item, tag), {}).values())
+
+    def max_tag_count(self, tag: str) -> int:
+        items = self._tag_items.get(tag, {})
+        return max(items.values()) if items else 0
+
+    def reachable_items(self, tags: Iterable[str]) -> Set[str]:
+        """Items carrying at least one of the given tags.
+
+        No semantic extension exists in the model, so items tagged only
+        with extension keywords are invisible to a UIT search.
+        """
+        reachable: Set[str] = set()
+        for tag in tags:
+            reachable.update(self._tag_items.get(tag, ()))
+        return reachable
+
+    def socially_reachable_items(self, seeker: str, tags: Iterable[str]) -> Set[str]:
+        """Items a *network-aware* UIT search can reach from *seeker*.
+
+        TopkS discovers items by visiting taggers in decreasing social
+        proximity: an item is reached only if one of its query-tag taggers
+        lies in the seeker's social component.  S3k, in contrast, also
+        walks document-to-document and authorship edges — the gap between
+        the two is the *graph reachability* measure of Section 5.4.
+        """
+        tag_list = list(tags)
+        visited: Set[str] = {seeker}
+        stack = [seeker]
+        while stack:
+            user = stack.pop()
+            for neighbor, weight in self._links.get(user, {}).items():
+                if weight > 0.0 and neighbor not in visited:
+                    visited.add(neighbor)
+                    stack.append(neighbor)
+        reachable: Set[str] = set()
+        for tag in tag_list:
+            for item in self._tag_items.get(tag, ()):
+                taggers = self._taggers.get((item, tag), {})
+                if any(user in visited for user in taggers):
+                    reachable.add(item)
+        return reachable

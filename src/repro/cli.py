@@ -1,0 +1,138 @@
+"""Command-line interface: generate, search, compare.
+
+Usage::
+
+    python -m repro generate --dataset twitter --out i1.db [--scale 0.5]
+    python -m repro search   --db i1.db --seeker tw:u0 --keywords w0 w3 -k 5
+    python -m repro compare  --db i1.db --queries 10
+
+``generate`` builds one of the three paper-shaped instances and persists
+it to SQLite; ``search`` answers a single S3k query against a stored
+instance; ``compare`` runs the Figure 8 qualitative comparison between
+S3k and the TopkS baseline on generated workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .baselines import TopkSSearcher, uit_from_instance
+from .core import S3kScore, S3kSearch
+from .datasets import (
+    build_twitter_instance,
+    build_vodkaster_instance,
+    build_yelp_instance,
+    compute_stats,
+)
+from .eval import compare_engines, format_table
+from .queries import WorkloadBuilder
+from .storage import SQLiteStore
+
+_GENERATORS = {
+    "twitter": lambda config=None: build_twitter_instance(config).instance,
+    "vodkaster": lambda config=None: build_vodkaster_instance(config).instance,
+    "yelp": lambda config=None: build_yelp_instance(config).instance,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="S3 / S3k — social, structured and semantic search (EDBT 2016)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="generate a dataset into SQLite")
+    generate.add_argument("--dataset", choices=sorted(_GENERATORS), required=True)
+    generate.add_argument("--out", required=True, help="SQLite file to create")
+    generate.add_argument(
+        "--scale", type=float, default=1.0, help="size multiplier (default 1.0)"
+    )
+
+    search = commands.add_parser("search", help="answer one top-k query")
+    search.add_argument("--db", required=True, help="SQLite file from `generate`")
+    search.add_argument("--seeker", required=True)
+    search.add_argument("--keywords", nargs="+", required=True)
+    search.add_argument("-k", type=int, default=5)
+    search.add_argument("--gamma", type=float, default=2.0)
+    search.add_argument("--eta", type=float, default=0.9)
+    search.add_argument(
+        "--no-semantics", action="store_true", help="disable keyword extension"
+    )
+
+    compare = commands.add_parser("compare", help="S3k vs TopkS quality measures")
+    compare.add_argument("--db", required=True)
+    compare.add_argument("--queries", type=int, default=10)
+    compare.add_argument("--alpha", type=float, default=0.5)
+    compare.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _generate(args: argparse.Namespace) -> int:
+    from .datasets import TwitterConfig, VodkasterConfig, YelpConfig
+
+    configs = {
+        "twitter": TwitterConfig(),
+        "vodkaster": VodkasterConfig(),
+        "yelp": YelpConfig(),
+    }
+    config = configs[args.dataset].scaled(args.scale)
+    instance = _GENERATORS[args.dataset](config)
+    with SQLiteStore(args.out) as store:
+        store.save_instance(instance)
+    rows = [[name, value] for name, value in compute_stats(instance).rows().items()]
+    print(format_table(["statistic", "value"], rows, title=f"{args.dataset} → {args.out}"))
+    return 0
+
+
+def _search(args: argparse.Namespace) -> int:
+    with SQLiteStore(args.db) as store:
+        instance = store.load_instance()
+    engine = S3kSearch(instance, score=S3kScore(gamma=args.gamma, eta=args.eta))
+    result = engine.search(
+        args.seeker, args.keywords, k=args.k, semantic=not args.no_semantics
+    )
+    if not result.results:
+        print("no results")
+    for rank, ranked in enumerate(result.results, start=1):
+        print(f"{rank}. {ranked.uri}  score in [{ranked.lower:.6f}, {ranked.upper:.6f}]")
+    print(
+        f"({result.iterations} steps, {result.components_processed} components, "
+        f"terminated by {result.terminated_by}, "
+        f"{result.elapsed_seconds * 1000:.1f} ms)"
+    )
+    return 0
+
+
+def _compare(args: argparse.Namespace) -> int:
+    with SQLiteStore(args.db) as store:
+        instance = store.load_instance()
+    engine = S3kSearch(instance)
+    builder = WorkloadBuilder(instance, seed=args.seed)
+    per_workload = max(1, args.queries // 2)
+    workloads = [
+        builder.build("+", 1, 5, per_workload),
+        builder.build("-", 1, 5, per_workload),
+    ]
+    report = compare_engines(engine, workloads, alpha=args.alpha)
+    print(
+        format_table(
+            ["measure", "value"],
+            list(report.rows().items()),
+            title=f"S3k vs TopkS over {report.queries} queries",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {"generate": _generate, "search": _search, "compare": _compare}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

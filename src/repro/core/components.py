@@ -1,0 +1,142 @@
+"""Connected-component index over documents and tags (Section 5.2).
+
+*"Reachability by [S3:partOf, S3:commentsOn, S3:commentsOn̄, S3:hasSubject,
+S3:hasSubject̄] edges defines a partition of the documents into connected
+components. [...] a fragment matches the query keywords iff its component
+matches it, leading to an efficient pruning procedure: we compute and store
+the partitions, and test that each keyword (or extension thereof) is
+present in every component."*
+
+The index is built once per instance with a union-find over document nodes
+and tags, and records for each component its member nodes, member tags,
+document roots and the set of keywords present (node contents plus tag
+keywords).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..rdf.terms import Term, URI, coerce_term
+from .instance import S3Instance
+
+
+class _UnionFind:
+    """Path-halving union-find over URIs."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[URI, URI] = {}
+
+    def find(self, item: URI) -> URI:
+        parent = self._parent
+        if item not in parent:
+            parent[item] = item
+            return item
+        root = item
+        while parent[root] != root:
+            parent[root] = parent[parent[root]]
+            root = parent[root]
+        return root
+
+    def union(self, a: URI, b: URI) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+
+
+class Component:
+    """One connected component of documents and tags."""
+
+    __slots__ = ("ident", "nodes", "tags", "roots", "keywords", "comment_edges")
+
+    def __init__(self, ident: int):
+        self.ident = ident
+        #: document node URIs in the component
+        self.nodes: Set[URI] = set()
+        #: tag URIs in the component
+        self.tags: Set[URI] = set()
+        #: root document URIs (trees whose nodes belong here)
+        self.roots: Set[URI] = set()
+        #: keywords present in node contents or tag keywords
+        self.keywords: Set[Term] = set()
+        #: number of commentsOn edges internal to the component
+        self.comment_edges: int = 0
+
+    def matches(self, extensions: Iterable[Set[Term]]) -> bool:
+        """True iff every keyword extension intersects this component.
+
+        This is the pruning test: a document of the component can only have
+        a non-zero (product) score if every query keyword — or a keyword of
+        its extension — appears somewhere in the component.
+        """
+        return all(not self.keywords.isdisjoint(ext) for ext in extensions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Component(#{self.ident}, nodes={len(self.nodes)}, "
+            f"tags={len(self.tags)}, roots={len(self.roots)})"
+        )
+
+
+class ComponentIndex:
+    """Partition of documents and tags, with keyword summaries."""
+
+    def __init__(self, instance: S3Instance):
+        self._instance = instance
+        union = _UnionFind()
+
+        # partOf: all nodes of a tree collapse onto their root.
+        for root_uri, document in instance.documents.items():
+            for node in document.nodes():
+                union.union(root_uri, node.uri)
+        # commentsOn: comment roots join the commented fragment.
+        for target, comments in instance._comments_of.items():
+            for comment in comments:
+                union.union(target, comment)
+        # hasSubject: tags join their subject (fragment or tag).
+        for tag_uri, tag in instance.tags.items():
+            union.union(tag.subject, tag_uri)
+
+        members: Dict[URI, List[URI]] = defaultdict(list)
+        for uri in list(instance.node_to_document) + list(instance.tags):
+            members[union.find(uri)].append(uri)
+
+        self._components: List[Component] = []
+        self._component_of: Dict[URI, int] = {}
+        for ident, (_, uris) in enumerate(sorted(members.items())):
+            component = Component(ident)
+            for uri in uris:
+                self._component_of[uri] = ident
+                if instance.is_tag(uri):
+                    component.tags.add(uri)
+                    keyword = instance.tags[uri].keyword
+                    if keyword is not None:
+                        component.keywords.add(coerce_term(keyword))
+                else:
+                    component.nodes.add(uri)
+                    root = instance.node_to_document[uri]
+                    component.roots.add(root)
+                    node = instance.documents[root].node(uri)
+                    component.keywords.update(
+                        coerce_term(keyword) for keyword in node.keywords
+                    )
+            component.comment_edges = sum(
+                len(instance.comments_on(node)) for node in component.nodes
+            )
+            self._components.append(component)
+
+    # ------------------------------------------------------------------
+    def component_of(self, uri: URI) -> Optional[Component]:
+        """The component containing the document node or tag *uri*."""
+        ident = self._component_of.get(uri)
+        if ident is None:
+            return None
+        return self._components[ident]
+
+    def components(self) -> List[Component]:
+        """All components."""
+        return list(self._components)
+
+    def __len__(self) -> int:
+        return len(self._components)

@@ -1,0 +1,104 @@
+"""The paper's concrete score (Section 3.4, Definition 3.5).
+
+Social proximity — a Katz-style weighted path sum:
+
+    ``prox(a, b) = Cγ · Σ_{p ∈ a;b} −→prox(p) / γ^|p|``, ``Cγ = (γ−1)/γ``
+
+with ``−→prox(p)`` the product of the normalized edge weights of ``p``.
+
+Document score — a product over query keywords of per-keyword sums:
+
+    ``score(d, (u, φ)) = Π_{k∈φ} Σ_{(type,f,src) ∈ con(d,k)}
+    η^{|pos(d,f)|} · prox(u, src)``
+
+for a damping factor ``η < 1``.  Ignoring the social part (prox = 1), the
+per-keyword sums give the best score to the lowest common ancestor of the
+nodes containing the keywords, extending classical XML IR scoring.
+
+Feasibility (Theorem 3.1): because path normalization makes the transition
+structure substochastic, the total proximity mass of length-``j`` paths is
+at most 1, giving the closed-form bounds implemented below:
+
+* ``prox − prox≤n ≤ Cγ Σ_{j>n} γ^{−j} = γ^{−(n+1)} = B>n``;
+* a source of a document in a still-unexplored component is at distance
+  ≥ n after iteration ``n``, hence
+  ``prox(u, src) ≤ Cγ Σ_{j≥n} γ^{−j} = γ^{−n}``;
+* ``Bscore(q, B) = Π_{k∈φ} (W_k · min(B, 1))`` where ``W_k`` bounds the
+  per-keyword structural weight sum.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Sequence, Tuple
+
+from .score import FeasibleScore
+
+
+class S3kScore(FeasibleScore):
+    """The concrete S3k score with parameters ``γ > 1`` and ``η < 1``."""
+
+    def __init__(self, gamma: float = 2.0, eta: float = 0.9):
+        if gamma <= 1.0:
+            raise ValueError(f"gamma must be > 1, got {gamma}")
+        if not 0.0 < eta < 1.0:
+            raise ValueError(f"eta must be in (0, 1), got {eta}")
+        self.gamma = gamma
+        self.eta = eta
+
+    @property
+    def c_gamma(self) -> float:
+        """``Cγ = (γ−1)/γ``, normalizing ``prox`` into [0, 1]."""
+        return (self.gamma - 1.0) / self.gamma
+
+    # -- ⊕path ----------------------------------------------------------
+    def aggregate_paths(self, pairs: Iterable[Tuple[float, int]]) -> float:
+        return self.c_gamma * sum(pp / self.gamma**length for pp, length in pairs)
+
+    def prox_increment(
+        self, previous: float, path_proximities: Iterable[float], n: int
+    ) -> float:
+        # Uprox does not depend on `previous` for this score: the length-n
+        # layer contributes additively.
+        return self.c_gamma * sum(path_proximities) / self.gamma**n
+
+    # -- attenuation ------------------------------------------------------
+    def prox_tail_bound(self, n: int) -> float:
+        # Cγ · Σ_{j>n} γ^{−j} · (mass ≤ 1)  =  γ^{−(n+1)}
+        return self.gamma ** -(n + 1)
+
+    def unexplored_source_bound(self, n: int) -> float:
+        # Cγ · Σ_{j≥n} γ^{−j}  =  γ^{−n}
+        return self.gamma ** -n if n > 0 else 1.0
+
+    # -- structural weighting ----------------------------------------------
+    def structural_weight(self, distance: int) -> float:
+        return self.eta**distance
+
+    # -- ⊕gen -------------------------------------------------------------
+    def combine(
+        self,
+        keyword_count: int,
+        tuples: Iterable[Tuple[int, object, int, float]],
+    ) -> float:
+        sums: Dict[int, float] = defaultdict(float)
+        for keyword_index, _type, distance, prox in tuples:
+            sums[keyword_index] += self.structural_weight(distance) * prox
+        score = 1.0
+        for index in range(keyword_count):
+            score *= sums.get(index, 0.0)
+            if score == 0.0:
+                return 0.0
+        return score
+
+    def score_bound(
+        self, keyword_weight_bounds: Sequence[float], prox_bound: float
+    ) -> float:
+        bound = 1.0
+        capped = min(prox_bound, 1.0)
+        for weight in keyword_weight_bounds:
+            bound *= weight * capped
+        return bound
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"S3kScore(gamma={self.gamma}, eta={self.eta})"

@@ -1,0 +1,220 @@
+"""Connections between documents and keywords: ``con(d, k)`` (Section 3.2).
+
+``con(d, k)`` is a set of three-tuples ``(type, f, src)`` with
+``type ∈ {S3:contains, S3:relatedTo, S3:commentsOn}``, ``f ∈ Frag(d)`` the
+fragment due to which ``d`` is connected, and ``src ∈ Ω ∪ D`` the origin of
+the connection.  The rules (for ``k' ∈ Ext(k)``):
+
+* **contains** — fragment ``f`` contains ``k'`` ⇒ ``(contains, f, d)`` for
+  every ancestor-or-self ``d`` of ``f`` (the source is ``d`` itself);
+* **tags** — a tag on ``f`` with keyword ``k'`` by ``src`` ⇒
+  ``(relatedTo, f, src)``; more generally any connection of a tag on ``f``
+  to ``k`` propagates as ``(relatedTo, f, src)`` (covers tags on tags);
+* **endorsements** — a keyword-less tag ``a`` by ``u`` on subject ``s``
+  inherits ``s``'s connections with source ``u``;
+* **comments** — a comment ``c`` on ``f`` with a connection to ``k`` due to
+  ``src`` ⇒ ``(commentsOn, f, src)`` for ``f``'s ancestors (the source
+  carries over; contains-connections of ``c`` have source ``c``).
+
+These rules are monotone over a finite lattice, so we evaluate them as a
+worklist fixpoint, one component at a time and only for the query's
+extended keywords.  Evidence is stored *per attachment node* as
+``(type, src)`` pairs; the per-candidate ``con(d, k)`` is then the union of
+the evidence over ``Frag(d)``, with the ``_SELF`` placeholder resolved to
+the candidate (contains-connections have the candidate itself as source).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, List, NamedTuple, Set, Tuple
+
+from ..rdf.namespaces import S3_COMMENTS_ON, S3_CONTAINS, S3_RELATED_TO
+from ..rdf.terms import Term, URI, coerce_term
+from .components import Component
+from .instance import S3Instance
+
+#: Placeholder source for contains-connections: resolved to the candidate.
+_SELF = URI("S3:__self__")
+
+
+class Connection(NamedTuple):
+    """One resolved element of ``con(d, k)``."""
+
+    ctype: URI
+    fragment: URI
+    source: URI
+    #: ``|pos(d, f)|`` — structural distance from the candidate to ``f``.
+    distance: int
+
+
+class ComponentConnections:
+    """Evidence and candidate extraction for one component and one query.
+
+    Parameters
+    ----------
+    instance:
+        The (saturated) S3 instance.
+    component:
+        The component to evaluate.
+    extensions:
+        Mapping query keyword → its extension ``Ext(k)`` (or ``{k}`` when
+        semantic expansion is disabled).
+    """
+
+    def __init__(
+        self,
+        instance: S3Instance,
+        component: Component,
+        extensions: Dict[Term, Set[Term]],
+    ):
+        self._instance = instance
+        self._component = component
+        self._extensions = dict(extensions)
+        #: keyword -> node URI -> set of (type, src) evidence pairs
+        self._evidence: Dict[Term, Dict[URI, Set[Tuple[URI, URI]]]] = {}
+        for keyword, extension in self._extensions.items():
+            self._evidence[keyword] = self._fixpoint(extension)
+
+    # ------------------------------------------------------------------
+    # Fixpoint for one query keyword
+    # ------------------------------------------------------------------
+    def _fixpoint(self, extension: Set[Term]) -> Dict[URI, Set[Tuple[URI, URI]]]:
+        instance = self._instance
+        component = self._component
+        extension = {coerce_term(k) for k in extension}
+
+        evidence: Dict[URI, Set[Tuple[URI, URI]]] = defaultdict(set)
+        # Base case: contains.
+        for node_uri in component.nodes:
+            document = instance.documents[instance.node_to_document[node_uri]]
+            node = document.node(node_uri)
+            if any(coerce_term(keyword) in extension for keyword in node.keywords):
+                evidence[node_uri].add((S3_CONTAINS, _SELF))
+
+        tag_sources: Dict[URI, Set[URI]] = defaultdict(set)
+
+        def doc_con_sources(root: URI) -> Set[URI]:
+            """Sources of ``con(root, k)``: _SELF resolves to *root*."""
+            document = instance.documents[root]
+            sources: Set[URI] = set()
+            for node in document.nodes():
+                for _, src in evidence.get(node.uri, ()):
+                    sources.add(root if src == _SELF else src)
+            return sources
+
+        def fragment_has_connection(uri: URI) -> bool:
+            """True when ``con(uri, k)`` is non-empty (doc node or tag)."""
+            if instance.is_tag(uri):
+                return bool(tag_sources[uri])
+            document = instance.document_of(uri)
+            if document is None:
+                return False
+            return any(
+                evidence.get(node.uri) for node in document.node(uri).iter_subtree()
+            )
+
+        changed = True
+        while changed:
+            changed = False
+            # Tag sources (keyword tags, endorsements, tags on tags).
+            for tag_uri in component.tags:
+                tag = instance.tags[tag_uri]
+                sources: Set[URI] = set()
+                if tag.keyword is not None:
+                    if coerce_term(tag.keyword) in extension:
+                        sources.add(tag.author)
+                elif fragment_has_connection(tag.subject):
+                    # Endorsement: inherits the subject's connections with
+                    # the endorser as source.
+                    sources.add(tag.author)
+                for higher in instance.tags_on(tag_uri):
+                    sources.update(tag_sources[higher])
+                if not sources <= tag_sources[tag_uri]:
+                    tag_sources[tag_uri] |= sources
+                    changed = True
+            # Push tag sources onto document-node subjects.
+            for tag_uri in component.tags:
+                tag = instance.tags[tag_uri]
+                if not instance.is_document_node(tag.subject):
+                    continue
+                pairs = {(S3_RELATED_TO, src) for src in tag_sources[tag_uri]}
+                if not pairs <= evidence[tag.subject]:
+                    evidence[tag.subject] |= pairs
+                    changed = True
+            # Comments: the comment's connection sources carry over to the
+            # commented fragment (type becomes commentsOn).
+            for node_uri in component.nodes:
+                comments = instance.comments_on(node_uri)
+                if not comments:
+                    continue
+                pairs: Set[Tuple[URI, URI]] = set()
+                for comment in comments:
+                    if comment not in instance.documents:
+                        continue
+                    for src in doc_con_sources(comment):
+                        pairs.add((S3_COMMENTS_ON, src))
+                if not pairs <= evidence[node_uri]:
+                    evidence[node_uri] |= pairs
+                    changed = True
+        # Drop empty sets materialized by defaultdict reads: downstream code
+        # treats key presence as "has evidence".
+        return {uri: pairs for uri, pairs in evidence.items() if pairs}
+
+    # ------------------------------------------------------------------
+    # Candidate extraction and resolution
+    # ------------------------------------------------------------------
+    def candidate_documents(self) -> List[URI]:
+        """Document nodes ``d`` with ``con(d, k) ≠ ∅`` for every keyword.
+
+        Since the score is a product over query keywords, only these can
+        have a non-zero score.  Coverage is computed bottom-up per tree.
+        """
+        keywords = list(self._extensions)
+        candidates: List[URI] = []
+        for root in sorted(self._component.roots):
+            document = self._instance.documents[root]
+            coverage: Dict[URI, FrozenSet[int]] = {}
+
+            def visit(node) -> FrozenSet[int]:
+                covered = {
+                    i
+                    for i, keyword in enumerate(keywords)
+                    if self._evidence[keyword].get(node.uri)
+                }
+                for child in node.children:
+                    covered |= visit(child)
+                result = frozenset(covered)
+                coverage[node.uri] = result
+                return result
+
+            visit(document.root)
+            full = frozenset(range(len(keywords)))
+            candidates.extend(uri for uri, cov in coverage.items() if cov == full)
+        return candidates
+
+    def connections(self, candidate: URI, keyword: Term) -> List[Connection]:
+        """Resolve ``con(candidate, keyword)`` as a list of connections."""
+        document = self._instance.document_of(candidate)
+        if document is None:
+            return []
+        evidence = self._evidence.get(keyword, {})
+        resolved: Set[Connection] = set()
+        base = document.node(candidate)
+        base_depth = base.depth
+        for node in base.iter_subtree():
+            pairs = evidence.get(node.uri)
+            if not pairs:
+                continue
+            distance = node.depth - base_depth
+            for ctype, src in pairs:
+                source = candidate if src == _SELF else src
+                resolved.add(Connection(ctype, node.uri, source, distance))
+        return sorted(resolved)
+
+    def all_connections(self, candidate: URI) -> Dict[Term, List[Connection]]:
+        """``con(candidate, k)`` for every query keyword."""
+        return {
+            keyword: self.connections(candidate, keyword)
+            for keyword in self._extensions
+        }

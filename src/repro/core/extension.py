@@ -1,0 +1,45 @@
+"""Keyword extension ``Ext(k)`` (Definition 2.1).
+
+Given a saturated S3 instance and a keyword ``k``, the extension of ``k``
+is ``{k}`` plus every ``b`` such that ``b type k``, ``b ≺sc k`` or
+``b ≺sp k`` holds in ``I``.  Because the graph is saturated, the subclass /
+subproperty triples already include their transitive closure, so one level
+of lookup yields the complete extension without loss of precision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+from ..rdf.namespaces import RDF_TYPE, RDFS_SUBCLASS, RDFS_SUBPROPERTY
+from ..rdf.terms import Term, URI, coerce_term
+from .instance import S3Instance
+
+
+def keyword_extension(instance: S3Instance, keyword: object) -> Set[Term]:
+    """Return ``Ext(keyword)`` over the given instance.
+
+    The result always contains *keyword* itself.  Only weight-1 (certain)
+    schema triples contribute, consistently with the saturation rules.
+    """
+    term = keyword if isinstance(keyword, URI) else coerce_term(keyword)
+    extension: Set[Term] = {term}
+    graph = instance.graph
+    for predicate in (RDF_TYPE, RDFS_SUBCLASS, RDFS_SUBPROPERTY):
+        for wt in graph.triples(predicate=predicate, obj=term):
+            if wt.weight == 1.0:
+                extension.add(wt.subject)
+    return extension
+
+
+def extend_query(instance: S3Instance, keywords: Iterable[object]) -> Dict[Term, Set[Term]]:
+    """Extend every query keyword; returns ``{keyword: Ext(keyword)}``.
+
+    This is the query-expansion step of Section 5.1, which on the paper's
+    workloads increased query size by ~50% on average.
+    """
+    extended: Dict[Term, Set[Term]] = {}
+    for keyword in keywords:
+        term = keyword if isinstance(keyword, URI) else coerce_term(keyword)
+        extended[term] = keyword_extension(instance, term)
+    return extended

@@ -1,0 +1,304 @@
+"""The S3 instance ``I``: one weighted RDF graph integrating everything.
+
+Assembles users, documents, tags, user actions and a knowledge base into a
+single weighted RDF graph, deriving all the triples prescribed by
+Sections 2.2-2.4:
+
+* ``u type S3:user`` for every user;
+* ``u1 S3:social u2 w`` for social relationships (sub-properties are also
+  recorded, with ``rel ≺sp S3:social``);
+* for every document node: ``n type S3:doc``, ``n S3:partOf parent``,
+  ``n S3:contains k`` and ``n S3:nodeName name``;
+* ``d S3:postedBy u`` / ``c S3:commentsOn f`` for user actions (again with
+  application sub-properties), plus the materialized inverse edges of
+  Section 2.4;
+* tag triples ``a type S3:relatedTo``, ``a S3:hasSubject s``,
+  ``a S3:hasAuthor u`` and optionally ``a S3:hasKeyword k``.
+
+The instance also maintains the side indexes the search algorithm needs:
+document trees, node→document mapping, the tag registry and the set Ω.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..documents.document import Document
+from ..rdf.graph import RDFGraph
+from ..rdf.namespaces import (
+    NETWORK_EDGE_PROPERTIES,
+    RDF_TYPE,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASS,
+    RDFS_SUBPROPERTY,
+    S3_COMMENTS_ON,
+    S3_CONTAINS,
+    S3_DOC,
+    S3_HAS_AUTHOR,
+    S3_HAS_KEYWORD,
+    S3_HAS_SUBJECT,
+    S3_NODE_NAME,
+    S3_PART_OF,
+    S3_POSTED_BY,
+    S3_RELATED_TO,
+    S3_SOCIAL,
+    S3_USER,
+    inverse_property,
+)
+from ..rdf.saturation import saturate
+from ..rdf.terms import Literal, Term, URI, coerce_term
+from ..social.tags import Tag
+
+
+class S3Instance:
+    """A weighted RDF graph ``I`` with S3 side indexes.
+
+    Use the ``add_*`` methods to populate the instance, then call
+    :meth:`saturate` once before querying (the paper assumes all graphs are
+    saturated).
+    """
+
+    def __init__(self) -> None:
+        self.graph = RDFGraph()
+        self.users: Set[URI] = set()
+        self.documents: Dict[URI, Document] = {}
+        self.node_to_document: Dict[URI, URI] = {}
+        self.tags: Dict[URI, Tag] = {}
+        self._comments_of: Dict[URI, List[URI]] = {}
+        self._comment_targets: Dict[URI, List[URI]] = {}
+        self._tags_on: Dict[URI, List[URI]] = {}
+        self._saturated = False
+        self._add_s3_schema()
+
+    # ------------------------------------------------------------------
+    # Schema
+    # ------------------------------------------------------------------
+    def _add_s3_schema(self) -> None:
+        """The built-in constraints of Section 2.3."""
+        self.graph.add(S3_PART_OF, RDFS_DOMAIN, S3_DOC)
+        self.graph.add(S3_PART_OF, RDFS_RANGE, S3_DOC)
+        self.graph.add(S3_CONTAINS, RDFS_DOMAIN, S3_DOC)
+        self.graph.add(S3_NODE_NAME, RDFS_DOMAIN, S3_DOC)
+
+    # ------------------------------------------------------------------
+    # Users and social edges (Section 2.2)
+    # ------------------------------------------------------------------
+    def add_user(self, user: object) -> URI:
+        """Register a user in Ω and type it ``S3:user``."""
+        uri = URI(user)
+        self.users.add(uri)
+        self.graph.add(uri, RDF_TYPE, S3_USER)
+        self._saturated = False
+        return uri
+
+    def add_social_edge(
+        self,
+        source: object,
+        target: object,
+        weight: float = 1.0,
+        relation: Optional[object] = None,
+    ) -> None:
+        """Add a social relationship from *source* to *target*.
+
+        When *relation* is given it is declared as ``relation ≺sp
+        S3:social`` and asserted with the edge weight; the generalization to
+        ``S3:social`` is materialized with the same weight (for weight-1
+        edges this is exactly what saturation would derive; for weighted
+        edges the paper restricts inference, so we materialize the
+        generalization explicitly to keep a single network-edge view).
+        """
+        src = self.add_user(source)
+        tgt = self.add_user(target)
+        if relation is not None:
+            rel = URI(relation)
+            self.graph.add(rel, RDFS_SUBPROPERTY, S3_SOCIAL)
+            self.graph.add(src, rel, tgt, weight)
+        self.graph.add(src, S3_SOCIAL, tgt, weight)
+        self._saturated = False
+
+    # ------------------------------------------------------------------
+    # Documents (Section 2.3)
+    # ------------------------------------------------------------------
+    def add_document(
+        self, document: Document, posted_by: Optional[object] = None
+    ) -> None:
+        """Add a document tree, deriving all document triples.
+
+        Every node becomes an ``S3:doc``; `partOf` edges follow the tree;
+        `contains` edges carry the node's keyword content; `nodeName`
+        records the node name.  With *posted_by*, the root is connected to
+        its author through ``S3:postedBy`` and the inverse edge.
+        """
+        root_uri = document.uri
+        if root_uri in self.documents:
+            raise ValueError(f"document already in instance: {root_uri}")
+        self.documents[root_uri] = document
+        for node in document.nodes():
+            self.node_to_document[node.uri] = root_uri
+            self.graph.add(node.uri, RDF_TYPE, S3_DOC)
+            self.graph.add(node.uri, S3_NODE_NAME, Literal(node.name))
+            if node.parent is not None:
+                self.graph.add(node.uri, S3_PART_OF, node.parent.uri)
+            for keyword in node.keywords:
+                self.graph.add(node.uri, S3_CONTAINS, coerce_term(keyword))
+        if posted_by is not None:
+            self.set_poster(root_uri, posted_by)
+        self._saturated = False
+
+    def set_poster(
+        self, doc: object, user: object, relation: Optional[object] = None
+    ) -> None:
+        """Record that *user* posted *doc* (``S3:postedBy`` + inverse)."""
+        doc_uri = URI(doc)
+        user_uri = self.add_user(user)
+        if relation is not None:
+            rel = URI(relation)
+            self.graph.add(rel, RDFS_SUBPROPERTY, S3_POSTED_BY)
+            self.graph.add(doc_uri, rel, user_uri)
+        self.graph.add(doc_uri, S3_POSTED_BY, user_uri)
+        self.graph.add(user_uri, inverse_property(S3_POSTED_BY), doc_uri)
+        self._saturated = False
+
+    def add_comment_edge(
+        self, comment: object, target: object, relation: Optional[object] = None
+    ) -> None:
+        """Record that document *comment* comments on fragment *target*.
+
+        Any concrete relation (reply, retweet-with-comment, new version...)
+        specializes ``S3:commentsOn``.
+        """
+        comment_uri = URI(comment)
+        target_uri = URI(target)
+        if relation is not None:
+            rel = URI(relation)
+            self.graph.add(rel, RDFS_SUBPROPERTY, S3_COMMENTS_ON)
+            self.graph.add(comment_uri, rel, target_uri)
+        self.graph.add(comment_uri, S3_COMMENTS_ON, target_uri)
+        self.graph.add(target_uri, inverse_property(S3_COMMENTS_ON), comment_uri)
+        self._comments_of.setdefault(target_uri, []).append(comment_uri)
+        self._comment_targets.setdefault(comment_uri, []).append(target_uri)
+        self._saturated = False
+
+    # ------------------------------------------------------------------
+    # Tags (Section 2.4)
+    # ------------------------------------------------------------------
+    def add_tag(self, tag: Tag) -> None:
+        """Add a tag resource with all its triples (and inverse edges)."""
+        if tag.uri in self.tags:
+            raise ValueError(f"tag already in instance: {tag.uri}")
+        self.tags[tag.uri] = tag
+        self.graph.add(tag.uri, RDF_TYPE, S3_RELATED_TO)
+        if tag.tag_type is not None:
+            self.graph.add(tag.tag_type, RDFS_SUBCLASS, S3_RELATED_TO)
+            self.graph.add(tag.uri, RDF_TYPE, tag.tag_type)
+        self.graph.add(tag.uri, S3_HAS_SUBJECT, tag.subject)
+        self.graph.add(tag.subject, inverse_property(S3_HAS_SUBJECT), tag.uri)
+        self.graph.add(tag.uri, S3_HAS_AUTHOR, tag.author)
+        self.graph.add(tag.author, inverse_property(S3_HAS_AUTHOR), tag.uri)
+        self.users.add(tag.author)
+        self.graph.add(tag.author, RDF_TYPE, S3_USER)
+        if tag.keyword is not None:
+            self.graph.add(tag.uri, S3_HAS_KEYWORD, coerce_term(tag.keyword))
+        self._tags_on.setdefault(tag.subject, []).append(tag.uri)
+        self._saturated = False
+
+    # ------------------------------------------------------------------
+    # Knowledge base (Section 2.1)
+    # ------------------------------------------------------------------
+    def add_knowledge(self, triples: Iterable[Tuple[object, object, object]]) -> None:
+        """Bulk-add weight-1 RDF triples (ontology / facts)."""
+        for s, p, o in triples:
+            self.graph.add(URI(s), URI(p), coerce_term(o))
+        self._saturated = False
+
+    # ------------------------------------------------------------------
+    # Saturation
+    # ------------------------------------------------------------------
+    def saturate(self) -> int:
+        """Saturate the instance graph; return the number of added triples."""
+        added = saturate(self.graph)
+        self._saturated = True
+        return added
+
+    @property
+    def is_saturated(self) -> bool:
+        return self._saturated
+
+    # ------------------------------------------------------------------
+    # Views used by the search algorithm
+    # ------------------------------------------------------------------
+    def document_of(self, node: URI) -> Optional[Document]:
+        """The :class:`Document` whose tree contains *node*, if any."""
+        root = self.node_to_document.get(node)
+        if root is None:
+            return None
+        return self.documents[root]
+
+    def is_document_node(self, uri: URI) -> bool:
+        return uri in self.node_to_document
+
+    def is_tag(self, uri: URI) -> bool:
+        return uri in self.tags
+
+    def is_user(self, uri: URI) -> bool:
+        return uri in self.users
+
+    def comments_on(self, target: URI) -> List[URI]:
+        """Documents commenting on fragment *target* (direct comments)."""
+        return list(self._comments_of.get(target, ()))
+
+    def comment_targets(self, comment: URI) -> List[URI]:
+        """Fragments the document *comment* comments on."""
+        return list(self._comment_targets.get(comment, ()))
+
+    def tags_on(self, subject: URI) -> List[URI]:
+        """Tags whose ``hasSubject`` is *subject* (fragment or tag)."""
+        return list(self._tags_on.get(subject, ()))
+
+    def vertical_neighborhood(self, uri: URI) -> Set[URI]:
+        """*uri* together with its vertical neighbors (Definition 2.2).
+
+        For non-document nodes (users, tags) the neighborhood is the
+        singleton ``{uri}``.
+        """
+        document = self.document_of(uri)
+        if document is None:
+            return {uri}
+        neighborhood = document.vertical_neighbors(uri)
+        neighborhood.add(uri)
+        return neighborhood
+
+    def network_out_edges(self, uri: URI) -> Iterator[Tuple[URI, float, URI]]:
+        """Network edges (Section 2.5) leaving *uri*.
+
+        Yields ``(target, weight, property)``; only edges whose property is
+        an S3 property other than ``partOf``/``contains``/``nodeName`` and
+        whose endpoints are users, documents or tags qualify.
+        """
+        for wt in self.graph.triples(subject=uri):
+            if wt.predicate not in NETWORK_EDGE_PROPERTIES:
+                continue
+            obj = wt.object
+            if not isinstance(obj, URI):
+                continue
+            if not (self.is_user(obj) or self.is_document_node(obj) or self.is_tag(obj)):
+                continue
+            yield obj, wt.weight, wt.predicate
+
+    def network_nodes(self) -> Set[URI]:
+        """All users, document nodes and tags (the social-path universe)."""
+        nodes: Set[URI] = set(self.users)
+        nodes.update(self.node_to_document)
+        nodes.update(self.tags)
+        return nodes
+
+    def contains_keyword(self, node: URI, keyword: Term) -> bool:
+        """True when ``node S3:contains keyword`` holds in ``I``."""
+        return self.graph.weight(node, S3_CONTAINS, keyword) is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"S3Instance(users={len(self.users)}, documents={len(self.documents)}, "
+            f"tags={len(self.tags)}, triples={len(self.graph)})"
+        )

@@ -1,0 +1,136 @@
+"""Exhaustive reference evaluation ("oracle") for S3k queries.
+
+Computes, to any requested precision, the exact social proximity of every
+node to the seeker (by running the normalized propagation until the tail
+bound drops below the tolerance) and the exact score of every document,
+then assembles a top-k answer per Definition 3.2 (greedy best-score with
+the vertical-neighbor exclusion).  Exponentially slower than
+:class:`~repro.core.search.S3kSearch` on large instances, but independent
+of its candidate pruning, bounds and termination logic — which is exactly
+what makes it a useful correctness oracle in tests and an exact ranking for
+the qualitative measures of Section 5.4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..rdf.terms import Term, URI, coerce_term
+from .components import ComponentIndex
+from .concrete_score import S3kScore
+from .connections import ComponentConnections
+from .extension import extend_query
+from .instance import S3Instance
+from .prox import ProximityIndex
+
+
+def exact_proximities(
+    instance: S3Instance,
+    seeker: URI,
+    score: Optional[S3kScore] = None,
+    tolerance: float = 1e-12,
+    prox_index: Optional[ProximityIndex] = None,
+) -> Tuple[np.ndarray, ProximityIndex]:
+    """Per-node accumulated proximity ``prox(u, ·)`` within *tolerance*.
+
+    Iterates ``border_{n+1} = T^T border_n / γ`` until the tail bound
+    ``γ^{−(n+1)}`` is below *tolerance*; the accumulated vector then equals
+    the exact proximity up to that tolerance for every node.
+    """
+    if score is None:
+        score = S3kScore()
+    if prox_index is None:
+        prox_index = ProximityIndex(instance)
+    border = prox_index.start_vector(seeker)
+    accumulated = np.zeros(prox_index.size, dtype=np.float64)
+    accumulated[prox_index.node_index(seeker)] = score.c_gamma
+    n = 0
+    while score.prox_tail_bound(n) > tolerance and n < 4000:
+        n += 1
+        border = prox_index.step(border) / score.gamma
+        accumulated += score.c_gamma * border
+        if not border.any():
+            break
+    return accumulated, prox_index
+
+
+def exact_scores(
+    instance: S3Instance,
+    seeker: object,
+    keywords: Sequence[object],
+    score: Optional[S3kScore] = None,
+    semantic: bool = True,
+    tolerance: float = 1e-12,
+    prox_index: Optional[ProximityIndex] = None,
+) -> Dict[URI, float]:
+    """Exact score of every document with a non-zero score."""
+    if score is None:
+        score = S3kScore()
+    seeker_uri = URI(seeker)
+    query_terms: List[Term] = []
+    for keyword in keywords:
+        term = keyword if isinstance(keyword, URI) else coerce_term(keyword)
+        if term not in query_terms:
+            query_terms.append(term)
+    if semantic:
+        extensions = extend_query(instance, query_terms)
+    else:
+        extensions = {term: {term} for term in query_terms}
+
+    accumulated, prox_index = exact_proximities(
+        instance, seeker_uri, score, tolerance, prox_index
+    )
+    component_index = ComponentIndex(instance)
+    scores: Dict[URI, float] = {}
+    for component in component_index.components():
+        if not component.matches(extensions.values()):
+            continue
+        connections = ComponentConnections(instance, component, extensions)
+        for candidate in connections.candidate_documents():
+            value = 1.0
+            for keyword in query_terms:
+                keyword_sum = 0.0
+                for conn in connections.connections(candidate, keyword):
+                    prox = prox_index.source_proximity(accumulated, conn.source)
+                    keyword_sum += score.structural_weight(conn.distance) * prox
+                value *= keyword_sum
+            if value > 0.0:
+                scores[candidate] = value
+    return scores
+
+
+def exact_top_k(
+    instance: S3Instance,
+    seeker: object,
+    keywords: Sequence[object],
+    k: int,
+    score: Optional[S3kScore] = None,
+    semantic: bool = True,
+    tolerance: float = 1e-12,
+) -> List[Tuple[URI, float]]:
+    """Top-k answer per Definition 3.2, computed exhaustively.
+
+    Documents are taken greedily by decreasing score (deeper fragments win
+    ties), skipping any document that is a fragment or an ancestor of an
+    already-selected one.
+    """
+    scores = exact_scores(instance, seeker, keywords, score, semantic, tolerance)
+
+    def depth(uri: URI) -> int:
+        document = instance.document_of(uri)
+        return document.node(uri).depth if document is not None else 0
+
+    ordered = sorted(scores.items(), key=lambda item: (-item[1], -depth(item[0]), item[0]))
+    picked: List[Tuple[URI, float]] = []
+    picked_neighborhoods: List[Set[URI]] = []
+    for uri, value in ordered:
+        neighborhood = instance.vertical_neighborhood(uri)
+        if any(uri in taken for taken in picked_neighborhoods):
+            continue
+        picked.append((uri, value))
+        picked_neighborhoods.append(neighborhood)
+        if len(picked) == k:
+            break
+    return picked

@@ -1,0 +1,171 @@
+"""Social paths: network edges, normalization, enumeration (Section 2.5).
+
+A *social path* is a chain of network edges such that the end of each edge
+and the beginning of the next are the same node or vertical neighbors.
+*Path normalization* divides each edge's weight by the total weight of the
+network edges leaving the vertical neighborhood the path is currently in:
+
+    ``e.n_w = e.w / Σ_{e' ∈ out(neigh(n))} e'.w``
+
+where ``n`` is the node through which the path entered the neighborhood
+(the end of the previous edge, or the path's start).
+
+This module is the *reference* implementation: it enumerates paths
+explicitly and is used by tests and by the naive (non-matrix) proximity
+mode.  The production engine is :mod:`repro.core.prox`, which folds the
+same normalization into a sparse transition matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..rdf.terms import URI
+from .instance import S3Instance
+
+
+@dataclass(frozen=True)
+class NetworkEdge:
+    """One network edge of ``I`` with its raw weight."""
+
+    source: URI
+    target: URI
+    weight: float
+    predicate: URI
+
+
+@dataclass(frozen=True)
+class SocialPath:
+    """A normalized social path.
+
+    ``edges`` are the traversed network edges; ``normalized_weights`` the
+    per-edge normalized weights; ``entry_nodes`` the successive nodes the
+    path is "at" (the end of each edge), starting with the path's origin.
+    """
+
+    edges: Tuple[NetworkEdge, ...]
+    normalized_weights: Tuple[float, ...]
+    entry_nodes: Tuple[URI, ...]
+
+    def __len__(self) -> int:
+        """Path length = number of edges (cf. Example 3.1)."""
+        return len(self.edges)
+
+    @property
+    def end(self) -> URI:
+        """The node the path arrives at (entry node of the last hop)."""
+        return self.entry_nodes[-1]
+
+    def proximity(self) -> float:
+        """``−→prox(p)``: the product of the normalized edge weights."""
+        result = 1.0
+        for weight in self.normalized_weights:
+            result *= weight
+        return result
+
+
+class PathExplorer:
+    """Enumerates normalized social paths over an :class:`S3Instance`."""
+
+    def __init__(self, instance: S3Instance):
+        self._instance = instance
+        self._out_cache: Dict[URI, List[NetworkEdge]] = {}
+        self._neigh_out_cache: Dict[URI, Tuple[List[NetworkEdge], float]] = {}
+
+    # ------------------------------------------------------------------
+    def out_edges(self, node: URI) -> List[NetworkEdge]:
+        """Network edges whose subject is exactly *node*."""
+        cached = self._out_cache.get(node)
+        if cached is None:
+            cached = [
+                NetworkEdge(node, target, weight, predicate)
+                for target, weight, predicate in self._instance.network_out_edges(node)
+            ]
+            self._out_cache[node] = cached
+        return cached
+
+    def neighborhood_out_edges(self, node: URI) -> Tuple[List[NetworkEdge], float]:
+        """``out(neigh(n))`` and its total weight ``W(n)``.
+
+        Edges leaving *node* or any of its vertical neighbors, in a
+        deterministic order, together with the normalization denominator.
+        """
+        cached = self._neigh_out_cache.get(node)
+        if cached is None:
+            edges: List[NetworkEdge] = []
+            for member in sorted(self._instance.vertical_neighborhood(node)):
+                edges.extend(self.out_edges(member))
+            total = sum(edge.weight for edge in edges)
+            cached = (edges, total)
+            self._neigh_out_cache[node] = cached
+        return cached
+
+    def normalized_out_edges(self, node: URI) -> Iterator[Tuple[NetworkEdge, float]]:
+        """Edges leaving the neighborhood of *node* with normalized weights."""
+        edges, total = self.neighborhood_out_edges(node)
+        if total <= 0.0:
+            return
+        for edge in edges:
+            yield edge, edge.weight / total
+
+    # ------------------------------------------------------------------
+    def paths_up_to(self, start: URI, max_length: int) -> Iterator[SocialPath]:
+        """All normalized social paths from *start* of length 1..*max_length*.
+
+        Exponential in *max_length* — only for tests / tiny graphs.
+        """
+        initial = SocialPath((), (), (start,))
+        frontier: List[SocialPath] = [initial]
+        for _ in range(max_length):
+            next_frontier: List[SocialPath] = []
+            for path in frontier:
+                for edge, n_w in self.normalized_out_edges(path.end):
+                    extended = SocialPath(
+                        path.edges + (edge,),
+                        path.normalized_weights + (n_w,),
+                        path.entry_nodes + (edge.target,),
+                    )
+                    next_frontier.append(extended)
+                    yield extended
+            frontier = next_frontier
+
+    def paths_between(
+        self, start: URI, end: URI, max_length: int
+    ) -> Iterator[SocialPath]:
+        """Paths in ``start ;≤max_length end``.
+
+        A path reaches *end* when its last entry node is *end* or one of
+        its vertical neighbors (the neighborhood acts as a single node from
+        the perspective of a social path).
+        """
+        targets = self._instance.vertical_neighborhood(end)
+        for path in self.paths_up_to(start, max_length):
+            if path.end in targets:
+                yield path
+
+
+def bounded_social_proximity(
+    instance: S3Instance,
+    start: URI,
+    end: URI,
+    max_length: int,
+    gamma: float = 2.0,
+    include_empty: bool = True,
+) -> float:
+    """Reference ``prox≤n(start, end)`` with the concrete ⊕path of §3.4.
+
+    ``prox≤n(a, b) = Cγ · Σ_{p ∈ a ;≤n b} −→prox(p) / γ^|p|``.  The empty
+    path (length 0, proximity 1) contributes when *end* is *start* or one
+    of its vertical neighbors.
+    """
+    if gamma <= 1.0:
+        raise ValueError("gamma must be > 1")
+    c_gamma = (gamma - 1.0) / gamma
+    explorer = PathExplorer(instance)
+    total = 0.0
+    if include_empty and start in instance.vertical_neighborhood(end):
+        total += 1.0
+    for path in explorer.paths_between(start, end, max_length):
+        total += path.proximity() / gamma ** len(path)
+    return c_gamma * total

@@ -1,0 +1,90 @@
+"""The generic score model and its feasibility properties (Section 3.3).
+
+A score function usable by the S3k algorithm must expose:
+
+1. **Relationship with path proximity** — the bounded social proximity
+   ``prox≤n`` must be computable incrementally:
+   ``prox≤n = prox≤n−1 + Uprox(prox≤n−1, ppSetn, n)``;
+2. **Long-path attenuation** — a bound ``B>n → 0`` with
+   ``prox − prox≤n ≤ B>n``;
+3. **Score soundness** — the score is monotone and continuous in the
+   proximity function;
+4. **Score convergence** — a bound ``Bscore(q, B)`` on the score of any
+   document all of whose connection sources have proximity ≤ ``B``, with
+   ``Bscore → 0`` as ``B → 0``.
+
+:class:`FeasibleScore` is the abstract interface; the paper's concrete
+instantiation lives in :mod:`repro.core.concrete_score`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Sequence, Tuple
+
+
+class FeasibleScore(abc.ABC):
+    """Interface required by the S3k query answering algorithm.
+
+    A connection tuple is ``(keyword_index, type, distance, prox)`` where
+    ``distance = |pos(d, f)|`` and ``prox`` is the (possibly bounded)
+    social proximity from the seeker to the connection source.
+    """
+
+    # -- ⊕path ----------------------------------------------------------
+    @abc.abstractmethod
+    def aggregate_paths(self, pairs: Iterable[Tuple[float, int]]) -> float:
+        """``⊕path``: aggregate ``(path proximity, length)`` pairs."""
+
+    @abc.abstractmethod
+    def prox_increment(
+        self, previous: float, path_proximities: Iterable[float], n: int
+    ) -> float:
+        """``Uprox``: the increment from the length-``n`` paths.
+
+        Returns the value to *add* to ``prox≤n−1`` to obtain ``prox≤n``
+        (feasibility property 1).
+        """
+
+    # -- attenuation ------------------------------------------------------
+    @abc.abstractmethod
+    def prox_tail_bound(self, n: int) -> float:
+        """``B>n``: upper bound on ``prox − prox≤n`` (property 2)."""
+
+    @abc.abstractmethod
+    def unexplored_source_bound(self, n: int) -> float:
+        """Upper bound on ``prox(u, src)`` for any connection source of a
+        document in a component not yet discovered after iteration ``n``.
+
+        Such a source is at social distance ≥ n from the seeker (it is in
+        the unexplored component or one network edge away from it), hence
+        its proximity is bounded by the mass of paths of length ≥ n.
+        """
+
+    # -- ⊕gen -------------------------------------------------------------
+    @abc.abstractmethod
+    def combine(
+        self,
+        keyword_count: int,
+        tuples: Iterable[Tuple[int, object, int, float]],
+    ) -> float:
+        """``⊕gen``: aggregate connection tuples into a score.
+
+        *keyword_count* is ``|φ|``; each tuple carries the index of its
+        query keyword so the aggregator can group per keyword.
+        """
+
+    @abc.abstractmethod
+    def score_bound(self, keyword_weight_bounds: Sequence[float], prox_bound: float) -> float:
+        """``Bscore(q, B)``: bound on the score of a document whose every
+        source has proximity ≤ *prox_bound* (property 4).
+
+        *keyword_weight_bounds* holds, for each query keyword ``k``, an
+        upper bound on ``Σ_{(t,f,src)∈con(d,k)} η^{|pos(d,f)|}`` over all
+        documents ``d``.
+        """
+
+    # -- structural weighting ----------------------------------------------
+    @abc.abstractmethod
+    def structural_weight(self, distance: int) -> float:
+        """Weight of a fragment at structural distance ``|pos(d, f)|``."""

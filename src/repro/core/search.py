@@ -1,0 +1,473 @@
+"""The S3k top-k query answering algorithm (Section 4).
+
+The instance is explored breadth-first from the seeker; at iteration ``n``
+the *exploration border* holds the proximity mass of all length-``n``
+social paths (``borderProx``, stepped by the sparse engine of
+:mod:`repro.core.prox`).  Documents are collected into a candidate set as
+their connected components are reached; every candidate carries a
+``[lower, upper]`` score interval, refined as proximity accumulates, and a
+*threshold* bounds the score of every document still unexplored.  The
+search stops (Algorithm 2) when the current top-k window is free of
+vertical neighbors and no other document — candidate or unexplored — can
+beat it; an *anytime* mode instead stops on an iteration / time budget and
+returns the best candidates by upper bound.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..rdf.terms import Term, URI, coerce_term
+from .components import Component, ComponentIndex
+from .concrete_score import S3kScore
+from .connections import ComponentConnections, Connection
+from .extension import extend_query
+from .instance import S3Instance
+from .prox import ProximityIndex
+from .score import FeasibleScore
+
+#: Interval slack absorbing float rounding when comparing bounds.
+TIE_EPSILON = 1e-9
+#: Hard cap on exploration depth (anytime fallback); the threshold stop
+#: normally triggers far earlier.
+DEFAULT_MAX_ITERATIONS = 300
+
+
+@dataclass
+class Candidate:
+    """A candidate answer with its score interval."""
+
+    uri: URI
+    root: URI
+    depth: int
+    #: query keyword -> [(structural distance, source)]
+    connections: Dict[Term, List[Tuple[int, URI]]]
+    sources: Set[URI]
+    lower: float = 0.0
+    upper: float = math.inf
+
+
+@dataclass(frozen=True)
+class RankedResult:
+    """One element of the returned top-k list."""
+
+    uri: URI
+    lower: float
+    upper: float
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one S3k query."""
+
+    seeker: URI
+    keywords: Tuple[Term, ...]
+    k: int
+    results: List[RankedResult]
+    iterations: int
+    terminated_by: str
+    elapsed_seconds: float
+    candidates_examined: int
+    components_processed: int
+    components_discarded: int
+    candidate_uris: Set[URI] = field(default_factory=set)
+    extended_keyword_count: int = 0
+
+    @property
+    def uris(self) -> List[URI]:
+        """Result URIs in rank order."""
+        return [r.uri for r in self.results]
+
+
+class S3kSearch:
+    """Query engine over a saturated :class:`S3Instance`.
+
+    Builds, once, the proximity index (normalized transition matrix), the
+    connected-component index, and the inverted keyword indexes used for
+    pruning and for the threshold bounds; then answers any number of
+    queries.
+    """
+
+    def __init__(
+        self,
+        instance: S3Instance,
+        score: Optional[FeasibleScore] = None,
+        use_matrix: bool = True,
+    ):
+        if not instance.is_saturated:
+            instance.saturate()
+        self.instance = instance
+        self.score: S3kScore = score if score is not None else S3kScore()
+        self.prox_index = ProximityIndex(instance, use_matrix=use_matrix)
+        self.component_index = ComponentIndex(instance)
+        self._keyword_nodes: Dict[Term, List[URI]] = {}
+        self._keyword_tags: Dict[Term, List[URI]] = {}
+        self._component_stats: Dict[int, Tuple[int, int, int]] = {}
+        self._build_keyword_indexes()
+
+    # ------------------------------------------------------------------
+    # Index construction
+    # ------------------------------------------------------------------
+    def _build_keyword_indexes(self) -> None:
+        for root, document in self.instance.documents.items():
+            for node in document.nodes():
+                for keyword in set(node.keywords):
+                    term = coerce_term(keyword)
+                    self._keyword_nodes.setdefault(term, []).append(node.uri)
+        for tag_uri, tag in self.instance.tags.items():
+            if tag.keyword is not None:
+                term = coerce_term(tag.keyword)
+                self._keyword_tags.setdefault(term, []).append(tag_uri)
+        for component in self.component_index.components():
+            n_tags = len(component.tags)
+            n_roots = len(component.roots)
+            n_targets = sum(
+                1 for node in component.nodes if self.instance.comments_on(node)
+            )
+            self._component_stats[component.ident] = (n_tags, n_roots, n_targets)
+
+    # ------------------------------------------------------------------
+    # Query-time helpers
+    # ------------------------------------------------------------------
+    def _matching_components(
+        self, extensions: Dict[Term, Set[Term]]
+    ) -> Set[int]:
+        """Components whose keyword set intersects *every* extension."""
+        matching: Optional[Set[int]] = None
+        for extension in extensions.values():
+            components: Set[int] = set()
+            for keyword in extension:
+                for node in self._keyword_nodes.get(keyword, ()):
+                    component = self.component_index.component_of(node)
+                    if component is not None:
+                        components.add(component.ident)
+                for tag in self._keyword_tags.get(keyword, ()):
+                    component = self.component_index.component_of(tag)
+                    if component is not None:
+                        components.add(component.ident)
+            matching = components if matching is None else (matching & components)
+            if not matching:
+                return set()
+        return matching or set()
+
+    def _keyword_weight_bounds(
+        self, extensions: Dict[Term, Set[Term]], matching: Set[int]
+    ) -> List[float]:
+        """``W_k``: per-keyword bounds on the structural weight sums.
+
+        For each query keyword, the maximum over the matching components of
+        an upper bound on ``Σ_{(t,f,src)∈con(d,k)} η^{|pos(d,f)|}``:
+        contains-connections are bounded by the component's occurrence
+        count, relatedTo-connections by its tag count, commentsOn pairs by
+        (#commented fragments) × (#roots + #tags).  See DESIGN.md §5.
+        """
+        bounds: List[float] = []
+        for extension in extensions.values():
+            per_component: Dict[int, int] = {}
+            for keyword in extension:
+                for node in self._keyword_nodes.get(keyword, ()):
+                    component = self.component_index.component_of(node)
+                    if component is not None and component.ident in matching:
+                        per_component[component.ident] = (
+                            per_component.get(component.ident, 0) + 1
+                        )
+                for tag in self._keyword_tags.get(keyword, ()):
+                    component = self.component_index.component_of(tag)
+                    if component is not None and component.ident in matching:
+                        per_component[component.ident] = (
+                            per_component.get(component.ident, 0) + 1
+                        )
+            best = 0.0
+            for ident, occurrences in per_component.items():
+                n_tags, n_roots, n_targets = self._component_stats[ident]
+                bound = occurrences + n_tags + n_targets * (n_roots + n_tags)
+                best = max(best, float(bound))
+            bounds.append(best)
+        return bounds
+
+    def _gather_candidates(
+        self,
+        component: Component,
+        extensions: Dict[Term, Set[Term]],
+        candidates: Dict[URI, Candidate],
+    ) -> int:
+        """Run the connection fixpoint on *component*, add its candidates."""
+        connections_index = ComponentConnections(self.instance, component, extensions)
+        added = 0
+        for candidate_uri in connections_index.candidate_documents():
+            if candidate_uri in candidates:
+                continue
+            document = self.instance.document_of(candidate_uri)
+            per_keyword: Dict[Term, List[Tuple[int, URI]]] = {}
+            sources: Set[URI] = set()
+            for keyword in extensions:
+                resolved = connections_index.connections(candidate_uri, keyword)
+                per_keyword[keyword] = [(c.distance, c.source) for c in resolved]
+                sources.update(c.source for c in resolved)
+            candidates[candidate_uri] = Candidate(
+                uri=candidate_uri,
+                root=document.uri,
+                depth=document.node(candidate_uri).depth,
+                connections=per_keyword,
+                sources=sources,
+            )
+            added += 1
+        return added
+
+    # ------------------------------------------------------------------
+    # Bounds
+    # ------------------------------------------------------------------
+    def _update_bounds(
+        self,
+        candidates: Dict[URI, Candidate],
+        accumulated: np.ndarray,
+        tail_bound: float,
+    ) -> None:
+        score = self.score
+        source_prox: Dict[URI, float] = {}
+        for candidate in candidates.values():
+            for source in candidate.sources:
+                if source not in source_prox:
+                    source_prox[source] = self.prox_index.source_proximity(
+                        accumulated, source
+                    )
+        for candidate in candidates.values():
+            lower = 1.0
+            upper = 1.0
+            for connections in candidate.connections.values():
+                lower_sum = 0.0
+                upper_sum = 0.0
+                for distance, source in connections:
+                    weight = score.structural_weight(distance)
+                    prox = source_prox[source]
+                    lower_sum += weight * prox
+                    upper_sum += weight * min(1.0, prox + tail_bound)
+                lower *= lower_sum
+                upper *= upper_sum
+            candidate.lower = lower
+            candidate.upper = upper
+
+    # ------------------------------------------------------------------
+    # Vertical-neighbor utilities
+    # ------------------------------------------------------------------
+    def _are_vertical_neighbors(self, a: Candidate, b: Candidate) -> bool:
+        if a.root != b.root:
+            return False
+        document = self.instance.documents[a.root]
+        dewey_a = document.node(a.uri).dewey
+        dewey_b = document.node(b.uri).dewey
+        shorter, longer = sorted((dewey_a, dewey_b), key=len)
+        return longer[: len(shorter)] == shorter
+
+    def _clean_candidates(
+        self, candidates: Dict[URI, Candidate], k: int, tail_bound: float
+    ) -> None:
+        """CleanCandidatesList: drop provably-excluded candidates."""
+        if not candidates:
+            return
+        # (i) candidates that k others surely beat.  The k reference lower
+        # bounds must come from pairwise NON-neighbor candidates: vertical
+        # neighbors can occupy only one answer slot, so a greedy
+        # neighbor-free selection by lower bound is used.  Any neighbor-free
+        # k-set with min lower L forces the answer's k-th score above L,
+        # hence candidates with upper < L can never appear.
+        by_lower = sorted(
+            candidates.values(), key=lambda c: (-c.lower, -c.depth, c.uri)
+        )
+        reference: List[Candidate] = []
+        for candidate in by_lower:
+            if any(self._are_vertical_neighbors(candidate, r) for r in reference):
+                continue
+            reference.append(candidate)
+            if len(reference) == k:
+                break
+        if len(reference) == k:
+            kth_lower = reference[-1].lower
+            for uri in [
+                u
+                for u, c in candidates.items()
+                if c.upper < kth_lower - TIE_EPSILON
+            ]:
+                del candidates[uri]
+        # (ii) candidates dominated by a vertical neighbor.
+        by_root: Dict[URI, List[Candidate]] = {}
+        for candidate in candidates.values():
+            by_root.setdefault(candidate.root, []).append(candidate)
+        to_remove: Set[URI] = set()
+        converged = tail_bound < TIE_EPSILON
+        for group in by_root.values():
+            if len(group) < 2:
+                continue
+            for i, a in enumerate(group):
+                for b in group[i + 1 :]:
+                    if not self._are_vertical_neighbors(a, b):
+                        continue
+                    if a.upper < b.lower - TIE_EPSILON:
+                        to_remove.add(a.uri)
+                    elif b.upper < a.lower - TIE_EPSILON:
+                        to_remove.add(b.uri)
+                    elif converged and abs(a.upper - b.upper) <= TIE_EPSILON:
+                        # Breakable tie (Theorem 4.2): keep the deeper,
+                        # more specific fragment.
+                        to_remove.add(a.uri if a.depth <= b.depth else b.uri)
+        for uri in to_remove:
+            candidates.pop(uri, None)
+
+    # ------------------------------------------------------------------
+    # Stop condition (Algorithm 2)
+    # ------------------------------------------------------------------
+    def _stop_condition(
+        self, ordered: List[Candidate], k: int, threshold: float
+    ) -> bool:
+        if not ordered:
+            return threshold <= TIE_EPSILON
+        top = ordered[:k]
+        for i, a in enumerate(top):
+            for b in top[i + 1 :]:
+                if self._are_vertical_neighbors(a, b):
+                    return False
+        min_top_lower = min(c.lower for c in top)
+        next_upper = ordered[k].upper if len(ordered) > k else 0.0
+        if len(ordered) < k:
+            # Fewer candidates than requested: stop once no unexplored
+            # document can join the answer.
+            return threshold <= TIE_EPSILON
+        return max(next_upper, threshold) <= min_top_lower + TIE_EPSILON
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        seeker: object,
+        keywords: Sequence[object],
+        k: int = 5,
+        semantic: bool = True,
+        max_iterations: Optional[int] = None,
+        time_budget: Optional[float] = None,
+    ) -> SearchResult:
+        """Answer the query ``(seeker, keywords)`` with the top-*k* results.
+
+        ``semantic=False`` disables keyword extension (used by the
+        semantic-reachability measure of Section 5.4).  *max_iterations* /
+        *time_budget* activate the anytime termination of Section 4.1.
+        """
+        started = time.perf_counter()
+        seeker_uri = URI(seeker)
+        if seeker_uri not in self.instance.users:
+            raise KeyError(f"unknown seeker: {seeker_uri}")
+        query_terms: List[Term] = []
+        for keyword in keywords:
+            term = keyword if isinstance(keyword, URI) else coerce_term(keyword)
+            if term not in query_terms:
+                query_terms.append(term)
+        if semantic:
+            extensions = extend_query(self.instance, query_terms)
+        else:
+            extensions = {term: {term} for term in query_terms}
+        extended_count = sum(len(ext) for ext in extensions.values())
+
+        matching = self._matching_components(extensions)
+        hard_cap = max_iterations if max_iterations is not None else DEFAULT_MAX_ITERATIONS
+
+        candidates: Dict[URI, Candidate] = {}
+        processed: Set[int] = set()
+        discarded = 0
+        examined = 0
+        candidate_uris: Set[URI] = set()
+        terminated_by = "threshold"
+        n = 0
+
+        if matching:
+            weight_bounds = self._keyword_weight_bounds(extensions, matching)
+            border = self.prox_index.start_vector(seeker_uri)
+            accumulated = np.zeros(self.prox_index.size, dtype=np.float64)
+            accumulated[self.prox_index.node_index(seeker_uri)] = self.score.c_gamma
+            seen = set(np.nonzero(border)[0].tolist())
+            threshold = math.inf
+
+            while True:
+                ordered = sorted(
+                    candidates.values(), key=lambda c: (-c.upper, -c.depth, c.uri)
+                )
+                if self._stop_condition(ordered, k, threshold):
+                    terminated_by = "threshold"
+                    break
+                if n >= hard_cap:
+                    terminated_by = "anytime"
+                    break
+                if time_budget is not None and time.perf_counter() - started > time_budget:
+                    terminated_by = "anytime"
+                    break
+
+                n += 1
+                border = self.prox_index.step(border) / self.score.gamma
+                accumulated += self.score.c_gamma * border
+
+                for index in np.nonzero(border)[0].tolist():
+                    if index in seen:
+                        continue
+                    seen.add(index)
+                    uri = self.prox_index.node_uri(index)
+                    if not (
+                        self.instance.is_document_node(uri) or self.instance.is_tag(uri)
+                    ):
+                        continue
+                    component = self.component_index.component_of(uri)
+                    if component is None or component.ident in processed:
+                        continue
+                    processed.add(component.ident)
+                    if component.ident in matching:
+                        added = self._gather_candidates(component, extensions, candidates)
+                        examined += added
+                    else:
+                        discarded += 1
+
+                if matching <= processed:
+                    threshold = 0.0
+                else:
+                    threshold = self.score.score_bound(
+                        weight_bounds, self.score.unexplored_source_bound(n)
+                    )
+                tail_bound = self.score.prox_tail_bound(n)
+                self._update_bounds(candidates, accumulated, tail_bound)
+                candidate_uris.update(candidates.keys())
+                self._clean_candidates(candidates, k, tail_bound)
+
+        results = self._assemble(candidates, k)
+        return SearchResult(
+            seeker=seeker_uri,
+            keywords=tuple(query_terms),
+            k=k,
+            results=results,
+            iterations=n,
+            terminated_by=terminated_by,
+            elapsed_seconds=time.perf_counter() - started,
+            candidates_examined=examined,
+            components_processed=len(processed),
+            components_discarded=discarded,
+            candidate_uris=candidate_uris,
+            extended_keyword_count=extended_count,
+        )
+
+    # ------------------------------------------------------------------
+    def _assemble(self, candidates: Dict[URI, Candidate], k: int) -> List[RankedResult]:
+        """Greedy top-k under the vertical-neighbor constraint."""
+        ordered = sorted(
+            candidates.values(), key=lambda c: (-c.upper, -c.depth, c.uri)
+        )
+        picked: List[Candidate] = []
+        for candidate in ordered:
+            if candidate.upper <= 0.0:
+                continue
+            if any(self._are_vertical_neighbors(candidate, other) for other in picked):
+                continue
+            picked.append(candidate)
+            if len(picked) == k:
+                break
+        return [RankedResult(c.uri, c.lower, c.upper) for c in picked]

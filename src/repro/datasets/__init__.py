@@ -1,0 +1,27 @@
+"""Dataset generators shaped after the paper's I1 / I2 / I3 instances."""
+
+from .ontology import Ontology, build_ontology, enrich_keywords
+from .stats import InstanceStats, compute_stats
+from .synthetic import TextModel, preferential_choice
+from .twitter import TwitterConfig, TwitterDataset, build_twitter_instance
+from .vodkaster import VodkasterConfig, VodkasterDataset, build_vodkaster_instance
+from .yelp import YelpConfig, YelpDataset, build_yelp_instance
+
+__all__ = [
+    "Ontology",
+    "build_ontology",
+    "enrich_keywords",
+    "TextModel",
+    "preferential_choice",
+    "TwitterConfig",
+    "TwitterDataset",
+    "build_twitter_instance",
+    "VodkasterConfig",
+    "VodkasterDataset",
+    "build_vodkaster_instance",
+    "YelpConfig",
+    "YelpDataset",
+    "build_yelp_instance",
+    "InstanceStats",
+    "compute_stats",
+]

@@ -1,0 +1,105 @@
+"""Synthetic DBpedia-like knowledge base (substitute for Section 5.1's KB).
+
+The paper enriched tweets and Yelp reviews against DBpedia (Mapping-based
+Types / Properties, Persondata, Lexicalizations): words matching a
+``foaf:name`` were replaced by the entity URI, and the RDFS schema links
+entities and classes so that keyword extension (Definition 2.1) can reach
+them.  This generator reproduces that *shape*:
+
+* a class taxonomy ``kb:c<i> ≺sc parent`` rooted at topical classes, each
+  topical root also declared ``≺sc`` its literal topic word, so that plain
+  literal queries pick up the taxonomy;
+* entities ``kb:e<j>`` typed with a leaf class;
+* a lexicalization table mapping surface words to entity URIs (the
+  ``foaf:name`` replacement table).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..rdf.namespaces import FOAF_NAME, RDF_TYPE, RDFS_SUBCLASS
+from ..rdf.terms import Literal, URI
+
+
+@dataclass
+class Ontology:
+    """A generated knowledge base."""
+
+    #: weight-1 triples to add to the instance
+    triples: List[Tuple[URI, URI, object]] = field(default_factory=list)
+    #: surface word -> candidate entity URIs (the enrichment table)
+    lexicalization: Dict[str, List[URI]] = field(default_factory=dict)
+    #: all class URIs, topical roots first
+    classes: List[URI] = field(default_factory=list)
+    #: all entity URIs
+    entities: List[URI] = field(default_factory=list)
+    #: literal topic words anchoring the taxonomy
+    topics: List[str] = field(default_factory=list)
+
+
+def build_ontology(
+    rng: random.Random,
+    topics: List[str],
+    classes_per_topic: int = 4,
+    entities_per_class: int = 3,
+) -> Ontology:
+    """Generate a taxonomy + entities + lexicalizations over *topics*.
+
+    Every topic word gets a root class (``≺sc`` the topic literal), a chain
+    of sub-classes, and entities typed with those classes; each entity has
+    one surface word so document text can be enriched into it.
+    """
+    ontology = Ontology(topics=list(topics))
+    entity_counter = 0
+    for t, topic in enumerate(topics):
+        root = URI(f"kb:c{t}_0")
+        ontology.classes.append(root)
+        ontology.triples.append((root, RDFS_SUBCLASS, Literal(topic)))
+        previous = root
+        for c in range(1, classes_per_topic):
+            cls = URI(f"kb:c{t}_{c}")
+            ontology.classes.append(cls)
+            # Random attachment: chain or sibling under the root.
+            parent = previous if rng.random() < 0.6 else root
+            ontology.triples.append((cls, RDFS_SUBCLASS, parent))
+            previous = cls
+        for cls in ontology.classes[-classes_per_topic:]:
+            for _ in range(entities_per_class):
+                entity = URI(f"kb:e{entity_counter}")
+                entity_counter += 1
+                ontology.entities.append(entity)
+                ontology.triples.append((entity, RDF_TYPE, cls))
+                # The entity's surface form *is* the topic word — like
+                # "Obama" vs "president", some occurrences of the word are
+                # entity mentions (the paper's foaf:name replacement).
+                ontology.lexicalization.setdefault(topic, []).append(entity)
+                ontology.triples.append((entity, FOAF_NAME, Literal(topic)))
+    return ontology
+
+
+def enrich_keywords(
+    keywords: List[str],
+    ontology: Ontology,
+    rng: random.Random,
+    probability: float = 0.5,
+) -> List[object]:
+    """Replace lexicalized words by entity URIs with some probability.
+
+    The paper replaced every word carrying a ``foaf:name`` by its entity
+    URI; the probabilistic variant models the mix of entity mentions and
+    plain word uses found in real text — documents mentioning only the
+    entity are then reachable for the word query *only* through the
+    keyword extension (which is what the semantic measures of Section 5.4
+    quantify).
+    """
+    enriched: List[object] = []
+    for keyword in keywords:
+        entities = ontology.lexicalization.get(keyword)
+        if entities and rng.random() < probability:
+            enriched.append(rng.choice(entities))
+        else:
+            enriched.append(keyword)
+    return enriched

@@ -1,0 +1,87 @@
+"""Instance statistics — the rows of Figure 4.
+
+Computes, for any S3 instance, the quantities the paper tabulates: users,
+social edges, documents, non-root fragments, tags, keyword occurrences,
+graph nodes/edges without keywords, and average social degree of users
+having any social edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.instance import S3Instance
+from ..rdf.namespaces import S3_CONTAINS, S3_SOCIAL
+
+
+@dataclass
+class InstanceStats:
+    """Figure 4-style statistics for one instance."""
+
+    users: int
+    social_edges: int
+    documents: int
+    fragments_non_root: int
+    tags: int
+    keyword_occurrences: int
+    distinct_keywords: int
+    nodes_without_keywords: int
+    edges_without_keywords: int
+    avg_social_degree: float
+
+    def rows(self) -> Dict[str, object]:
+        """Ordered name → value mapping for table printing."""
+        return {
+            "Users": self.users,
+            "S3:social edges": self.social_edges,
+            "Documents": self.documents,
+            "Fragments (non-root)": self.fragments_non_root,
+            "Tags": self.tags,
+            "Keywords": self.keyword_occurrences,
+            "Distinct keywords": self.distinct_keywords,
+            "Nodes (without keywords)": self.nodes_without_keywords,
+            "Edges (without keywords)": self.edges_without_keywords,
+            "S3:social edges per user having any (average)": round(
+                self.avg_social_degree, 1
+            ),
+        }
+
+
+def compute_stats(instance: S3Instance) -> InstanceStats:
+    """Compute the Figure 4 rows over *instance*."""
+    social_edges = 0
+    social_sources: Dict[str, int] = {}
+    for wt in instance.graph.triples(predicate=S3_SOCIAL):
+        social_edges += 1
+        social_sources[wt.subject] = social_sources.get(wt.subject, 0) + 1
+
+    keyword_occurrences = 0
+    distinct = set()
+    for wt in instance.graph.triples(predicate=S3_CONTAINS):
+        keyword_occurrences += 1
+        distinct.add(wt.object)
+    for tag in instance.tags.values():
+        if tag.keyword is not None:
+            keyword_occurrences += 1
+            distinct.add(tag.keyword)
+
+    n_nodes = len(instance.network_nodes())
+    edges_without_keywords = sum(
+        1 for uri in instance.network_nodes() for _ in instance.network_out_edges(uri)
+    )
+
+    fragments = sum(len(doc) - 1 for doc in instance.documents.values())
+    degrees = list(social_sources.values())
+    return InstanceStats(
+        users=len(instance.users),
+        social_edges=social_edges,
+        documents=len(instance.documents),
+        fragments_non_root=fragments,
+        tags=len(instance.tags),
+        keyword_occurrences=keyword_occurrences,
+        distinct_keywords=len(distinct),
+        nodes_without_keywords=n_nodes,
+        edges_without_keywords=edges_without_keywords,
+        avg_social_degree=(sum(degrees) / len(degrees)) if degrees else 0.0,
+    )

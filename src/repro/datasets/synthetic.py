@@ -1,0 +1,54 @@
+"""Synthetic text: Zipf-distributed vocabulary and short messages.
+
+Keyword frequencies in real corpora are Zipfian; the workload generator
+(Section 5.1) splits keywords into *rare* (bottom frequency quartile) and
+*common* (top quartile), so reproducing the frequency skew is what matters
+for query-time behaviour — not natural-language fluency.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass
+class TextModel:
+    """A Zipfian bag-of-words text generator."""
+
+    vocabulary: List[str]
+    weights: List[float]
+
+    @classmethod
+    def build(
+        cls,
+        rng: random.Random,
+        size: int = 400,
+        exponent: float = 1.1,
+        prefix: str = "w",
+    ) -> "TextModel":
+        """A vocabulary of *size* words with Zipf(``exponent``) weights."""
+        vocabulary = [f"{prefix}{i}" for i in range(size)]
+        weights = [1.0 / (rank + 1) ** exponent for rank in range(size)]
+        return cls(vocabulary, weights)
+
+    def words(self, rng: random.Random, count: int) -> List[str]:
+        """Sample *count* words (with repetition, Zipf-weighted)."""
+        return rng.choices(self.vocabulary, weights=self.weights, k=count)
+
+    def distinct_words(self, rng: random.Random, count: int) -> List[str]:
+        """Sample up to *count* distinct words."""
+        seen: List[str] = []
+        for word in self.words(rng, count * 3):
+            if word not in seen:
+                seen.append(word)
+            if len(seen) == count:
+                break
+        return seen
+
+
+def preferential_choice(rng: random.Random, items: Sequence, exponent: float = 1.0):
+    """Pick an item with rank-based preferential attachment."""
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(len(items))]
+    return rng.choices(list(items), weights=weights, k=1)[0]

@@ -1,0 +1,219 @@
+"""I1: the Twitter-like instance (Section 5.1, substituted — see DESIGN.md).
+
+Reproduces the construction pipeline of the paper on synthetic data:
+
+* every non-retweet status becomes a three-node document (text / date /
+  geo), its text enriched against the knowledge base;
+* a retweet introduces, for each hashtag it carries, a tag
+  ``a type S3:relatedTo, a hasSubject t, a hasKeyword h, a hasAuthor u``
+  on the original tweet (a hashtag-less retweet becomes an endorsement);
+* a reply becomes a document plus an ``S3:commentsOn`` edge when the
+  target is in the corpus;
+* user links carry the similarity ``u∼(a,b) = t·js1(a,b) + (1−t)·js2(a,b)``
+  — Jaccard over post keywords and over comment keywords — kept when above
+  the threshold (0.1 in the paper).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.instance import S3Instance
+from ..documents.document import Document
+from ..documents.node import DocumentNode
+from ..rdf.terms import URI
+from ..social.tags import Tag
+from .ontology import Ontology, build_ontology, enrich_keywords
+from .synthetic import TextModel, preferential_choice
+
+#: Named topic words always anchoring the synthetic knowledge base.
+DEFAULT_TOPICS = ["politics", "sport", "music", "science", "cinema"]
+
+
+@dataclass
+class TwitterConfig:
+    """Size and behaviour knobs for the I1 generator.
+
+    The defaults give a laptop-scale instance; the paper-shape ratios
+    (retweets 85%, replies 6.9%, similarity threshold 0.1) are preserved.
+    """
+
+    n_users: int = 300
+    n_statuses: int = 900
+    retweet_ratio: float = 0.85
+    reply_ratio: float = 0.069
+    similarity_threshold: float = 0.1
+    similarity_mix: float = 0.5  # the paper's t in t·js1 + (1−t)·js2
+    vocabulary_size: int = 500
+    words_per_tweet: int = 8
+    hashtag_count: int = 25
+    entity_probability: float = 0.3
+    topic_probability: float = 0.2
+    #: number of vocabulary words additionally anchored in the KB — the
+    #: paper's DBpedia lexicalization covered a large share of tweet words,
+    #: which is what drives semantic reachability below 100%.
+    ontology_coverage: int = 120
+    max_similarity_candidates: int = 60
+    seed: int = 7
+
+    def scaled(self, factor: float) -> "TwitterConfig":
+        """A proportionally larger/smaller configuration."""
+        return TwitterConfig(
+            n_users=max(4, int(self.n_users * factor)),
+            n_statuses=max(8, int(self.n_statuses * factor)),
+            retweet_ratio=self.retweet_ratio,
+            reply_ratio=self.reply_ratio,
+            similarity_threshold=self.similarity_threshold,
+            similarity_mix=self.similarity_mix,
+            vocabulary_size=self.vocabulary_size,
+            words_per_tweet=self.words_per_tweet,
+            hashtag_count=self.hashtag_count,
+            entity_probability=self.entity_probability,
+            topic_probability=self.topic_probability,
+            ontology_coverage=self.ontology_coverage,
+            max_similarity_candidates=self.max_similarity_candidates,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class TwitterDataset:
+    """The generated instance plus generation metadata."""
+
+    instance: S3Instance
+    ontology: Ontology
+    n_tweets: int = 0
+    n_retweets: int = 0
+    n_replies: int = 0
+    n_documents: int = 0
+
+
+def build_twitter_instance(config: Optional[TwitterConfig] = None) -> TwitterDataset:
+    """Generate the I1-shaped instance."""
+    if config is None:
+        config = TwitterConfig()
+    rng = random.Random(config.seed)
+    instance = S3Instance()
+    text_model = TextModel.build(rng, config.vocabulary_size)
+    hashtags = [f"#h{i}" for i in range(config.hashtag_count)]
+    # Anchor the KB on the named topics plus the most frequent vocabulary
+    # words, so that a sizable share of workload keywords has a non-trivial
+    # extension (the paper's DBpedia lexicalizations covered common words).
+    anchored = DEFAULT_TOPICS + text_model.vocabulary[: config.ontology_coverage]
+    ontology = build_ontology(rng, anchored, classes_per_topic=1, entities_per_class=2)
+    instance.add_knowledge(ontology.triples)
+
+    users = [instance.add_user(f"tw:u{i}") for i in range(config.n_users)]
+    #: per-user keyword sets for js1 (posts) and js2 (comments)
+    post_keywords: Dict[URI, Set[str]] = {u: set() for u in users}
+    comment_keywords: Dict[URI, Set[str]] = {u: set() for u in users}
+
+    tweet_uris: List[URI] = []
+    dataset = TwitterDataset(instance=instance, ontology=ontology)
+    tag_counter = 0
+
+    def tweet_words() -> List[str]:
+        words = text_model.words(rng, config.words_per_tweet)
+        if rng.random() < config.topic_probability:
+            # Topic words appear both literally and through their entities,
+            # so queries on them exercise the keyword extension.
+            words.append(rng.choice(ontology.topics))
+        if rng.random() < 0.4:
+            words.append(rng.choice(hashtags))
+        return words
+
+    def build_tweet_document(uri: str, words: List[str]) -> Document:
+        root = DocumentNode(URI(uri), "tweet")
+        root.add_child(
+            URI(f"{uri}.text"),
+            "text",
+            enrich_keywords(words, ontology, rng, config.entity_probability),
+        )
+        root.add_child(URI(f"{uri}.date"), "date", [f"{rng.randint(2010, 2016)}"])
+        root.add_child(URI(f"{uri}.geo"), "geo", [f"city{rng.randint(0, 30)}"])
+        return Document(root)
+
+    for status in range(config.n_statuses):
+        author = preferential_choice(rng, users)
+        is_retweet = tweet_uris and rng.random() < config.retweet_ratio
+        if is_retweet:
+            # Retweet: a tag on the original tweet (paper's construction).
+            dataset.n_retweets += 1
+            original = preferential_choice(rng, tweet_uris)
+            carried = [h for h in hashtags if rng.random() < 0.08]
+            if carried:
+                for hashtag in carried:
+                    instance.add_tag(
+                        Tag(URI(f"tw:a{tag_counter}"), original, author, keyword=hashtag)
+                    )
+                    tag_counter += 1
+            else:
+                instance.add_tag(Tag(URI(f"tw:a{tag_counter}"), original, author))
+                tag_counter += 1
+            continue
+
+        words = tweet_words()
+        uri = f"tw:t{status}"
+        document = build_tweet_document(uri, words)
+        is_reply = tweet_uris and rng.random() < config.reply_ratio
+        instance.add_document(document, posted_by=author)
+        dataset.n_documents += 1
+        if is_reply:
+            dataset.n_replies += 1
+            target = preferential_choice(rng, tweet_uris)
+            instance.add_comment_edge(document.uri, target)
+            comment_keywords[author].update(words)
+        else:
+            post_keywords[author].update(words)
+        tweet_uris.append(document.uri)
+
+    dataset.n_tweets = config.n_statuses
+    _add_similarity_edges(instance, rng, config, post_keywords, comment_keywords)
+    instance.saturate()
+    return dataset
+
+
+def _jaccard(a: Set[str], b: Set[str]) -> float:
+    if not a and not b:
+        return 0.0
+    union = len(a | b)
+    return len(a & b) / union if union else 0.0
+
+
+def _add_similarity_edges(
+    instance: S3Instance,
+    rng: random.Random,
+    config: TwitterConfig,
+    post_keywords: Dict[URI, Set[str]],
+    comment_keywords: Dict[URI, Set[str]],
+) -> None:
+    """The u∼ similarity edges over candidate pairs sharing keywords.
+
+    All-pairs Jaccard is quadratic; like any practical implementation we
+    only score pairs that co-occur in some keyword's posting list (capped
+    per keyword to bound worst-case work on ultra-frequent words).
+    """
+    by_keyword: Dict[str, List[URI]] = {}
+    for user, words in post_keywords.items():
+        for word in words:
+            by_keyword.setdefault(word, []).append(user)
+    pairs: Set[Tuple[URI, URI]] = set()
+    for users_with_word in by_keyword.values():
+        if len(users_with_word) > config.max_similarity_candidates:
+            users_with_word = rng.sample(
+                users_with_word, config.max_similarity_candidates
+            )
+        for i, a in enumerate(users_with_word):
+            for b in users_with_word[i + 1:]:
+                pairs.add((a, b) if a < b else (b, a))
+    mix = config.similarity_mix
+    for a, b in sorted(pairs):
+        similarity = mix * _jaccard(post_keywords[a], post_keywords[b]) + (
+            1 - mix
+        ) * _jaccard(comment_keywords[a], comment_keywords[b])
+        if similarity > config.similarity_threshold:
+            weight = min(1.0, similarity)
+            instance.add_social_edge(a, b, weight)
+            instance.add_social_edge(b, a, weight)

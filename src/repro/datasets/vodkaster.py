@@ -1,0 +1,100 @@
+"""I2: the Vodkaster-like instance (French movie micro-reviews).
+
+Follows Section 5.1: ``u vdk:follow v 1`` edges with ``vdk:follow ≺sp
+S3:social``; per movie, the first comment becomes a document whose
+fragments are its (stemmed) sentences, and every additional comment is a
+document commenting on the first.  The content uses a disjoint "French"
+vocabulary and is **not** matched against any knowledge base — which is
+why the paper's semantic-reachability measure is 100% on I2.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.instance import S3Instance
+from ..documents.document import Document
+from ..documents.node import DocumentNode
+from ..rdf.terms import URI
+from .synthetic import TextModel, preferential_choice
+
+
+@dataclass
+class VodkasterConfig:
+    """Size knobs for the I2 generator."""
+
+    n_users: int = 150
+    n_movies: int = 60
+    n_comments: int = 400
+    follow_probability: float = 0.012
+    vocabulary_size: int = 350
+    sentences_per_comment: int = 3
+    words_per_sentence: int = 6
+    seed: int = 11
+
+    def scaled(self, factor: float) -> "VodkasterConfig":
+        return VodkasterConfig(
+            n_users=max(4, int(self.n_users * factor)),
+            n_movies=max(2, int(self.n_movies * factor)),
+            n_comments=max(4, int(self.n_comments * factor)),
+            follow_probability=self.follow_probability,
+            vocabulary_size=self.vocabulary_size,
+            sentences_per_comment=self.sentences_per_comment,
+            words_per_sentence=self.words_per_sentence,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class VodkasterDataset:
+    instance: S3Instance
+    n_movies: int = 0
+    n_comments: int = 0
+
+
+def build_vodkaster_instance(
+    config: Optional[VodkasterConfig] = None,
+) -> VodkasterDataset:
+    """Generate the I2-shaped instance."""
+    if config is None:
+        config = VodkasterConfig()
+    rng = random.Random(config.seed)
+    instance = S3Instance()
+    text_model = TextModel.build(rng, config.vocabulary_size, prefix="fr")
+
+    users = [instance.add_user(f"vdk:u{i}") for i in range(config.n_users)]
+    for source in users:
+        for target in users:
+            if source != target and rng.random() < config.follow_probability:
+                instance.add_social_edge(source, target, 1.0, relation="vdk:follow")
+
+    #: movie id -> URI of the first comment (the component's document root)
+    first_comment: Dict[int, URI] = {}
+    dataset = VodkasterDataset(instance=instance)
+
+    def build_comment(uri: str) -> Document:
+        root = DocumentNode(URI(uri), "comment")
+        for s in range(rng.randint(1, config.sentences_per_comment)):
+            root.add_child(
+                URI(f"{uri}.s{s}"),
+                "sentence",
+                text_model.words(rng, config.words_per_sentence),
+            )
+        return Document(root)
+
+    movies = list(range(config.n_movies))
+    for c in range(config.n_comments):
+        movie = preferential_choice(rng, movies)
+        author = rng.choice(users)
+        document = build_comment(f"vdk:c{c}")
+        instance.add_document(document, posted_by=author)
+        dataset.n_comments += 1
+        if movie in first_comment:
+            instance.add_comment_edge(document.uri, first_comment[movie])
+        else:
+            first_comment[movie] = document.uri
+    dataset.n_movies = len(first_comment)
+    instance.saturate()
+    return dataset

@@ -1,0 +1,116 @@
+"""I3: the Yelp-like instance (crowd-sourced business reviews).
+
+Follows Section 5.1: ``u yelp:friend v 1`` edges with ``yelp:friend ≺sp
+S3:social``; per business, the first review is a document and subsequent
+reviews comment on it; review text is semantically enriched against the
+knowledge base (like I1, unlike I2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.instance import S3Instance
+from ..documents.document import Document
+from ..documents.node import DocumentNode
+from ..rdf.terms import URI
+from .ontology import Ontology, build_ontology, enrich_keywords
+from .synthetic import TextModel, preferential_choice
+
+DEFAULT_TOPICS = ["food", "service", "ambiance", "price"]
+
+
+@dataclass
+class YelpConfig:
+    """Size knobs for the I3 generator."""
+
+    n_users: int = 250
+    n_businesses: int = 50
+    n_reviews: int = 500
+    friend_probability: float = 0.009
+    vocabulary_size: int = 450
+    paragraphs_per_review: int = 2
+    words_per_paragraph: int = 9
+    entity_probability: float = 0.5
+    topic_probability: float = 0.18
+    ontology_coverage: int = 120
+    seed: int = 13
+
+    def scaled(self, factor: float) -> "YelpConfig":
+        return YelpConfig(
+            n_users=max(4, int(self.n_users * factor)),
+            n_businesses=max(2, int(self.n_businesses * factor)),
+            n_reviews=max(4, int(self.n_reviews * factor)),
+            friend_probability=self.friend_probability,
+            vocabulary_size=self.vocabulary_size,
+            paragraphs_per_review=self.paragraphs_per_review,
+            words_per_paragraph=self.words_per_paragraph,
+            entity_probability=self.entity_probability,
+            topic_probability=self.topic_probability,
+            ontology_coverage=self.ontology_coverage,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class YelpDataset:
+    instance: S3Instance
+    ontology: Ontology
+    n_businesses: int = 0
+    n_reviews: int = 0
+
+
+def build_yelp_instance(config: Optional[YelpConfig] = None) -> YelpDataset:
+    """Generate the I3-shaped instance."""
+    if config is None:
+        config = YelpConfig()
+    rng = random.Random(config.seed)
+    instance = S3Instance()
+    text_model = TextModel.build(rng, config.vocabulary_size, prefix="y")
+    anchored = DEFAULT_TOPICS + text_model.vocabulary[: config.ontology_coverage]
+    ontology = build_ontology(rng, anchored, classes_per_topic=1, entities_per_class=2)
+    instance.add_knowledge(ontology.triples)
+
+    users = [instance.add_user(f"yelp:u{i}") for i in range(config.n_users)]
+    for source in users:
+        for target in users:
+            if source != target and rng.random() < config.friend_probability:
+                instance.add_social_edge(source, target, 1.0, relation="yelp:friend")
+
+    first_review: Dict[int, URI] = {}
+    dataset = YelpDataset(instance=instance, ontology=ontology)
+
+    def review_words() -> List[str]:
+        words = text_model.words(rng, config.words_per_paragraph)
+        if rng.random() < config.topic_probability:
+            words.append(rng.choice(ontology.topics))
+        return words
+
+    def build_review(uri: str) -> Document:
+        root = DocumentNode(URI(uri), "review")
+        for p in range(rng.randint(1, config.paragraphs_per_review)):
+            root.add_child(
+                URI(f"{uri}.p{p}"),
+                "paragraph",
+                enrich_keywords(
+                    review_words(), ontology, rng, config.entity_probability
+                ),
+            )
+        return Document(root)
+
+    businesses = list(range(config.n_businesses))
+    for r in range(config.n_reviews):
+        business = preferential_choice(rng, businesses)
+        author = rng.choice(users)
+        document = build_review(f"yelp:r{r}")
+        instance.add_document(document, posted_by=author)
+        dataset.n_reviews += 1
+        if business in first_review:
+            instance.add_comment_edge(document.uri, first_review[business])
+        else:
+            first_review[business] = document.uri
+    dataset.n_businesses = len(first_review)
+    instance.saturate()
+    return dataset

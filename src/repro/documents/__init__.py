@@ -1,0 +1,19 @@
+"""Structured document substrate: trees, Dewey positions, text pipeline."""
+
+from .document import Document, build_document
+from .node import DocumentNode
+from .parser import parse_json, parse_text, parse_xml
+from .text import STOP_WORDS, extract_keywords, porter_stem, tokenize
+
+__all__ = [
+    "Document",
+    "DocumentNode",
+    "build_document",
+    "parse_xml",
+    "parse_json",
+    "parse_text",
+    "tokenize",
+    "porter_stem",
+    "extract_keywords",
+    "STOP_WORDS",
+]

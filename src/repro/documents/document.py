@@ -1,0 +1,116 @@
+"""Documents: fragment sets, positions, vertical neighborhoods.
+
+Implements ``Frag(d)``, ``pos(d, f)`` and the *vertical neighborhood* of
+Definition 2.2: two documents are vertical neighbors iff one is a fragment
+of the other (ancestor/descendant in the same tree).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Sequence, Set, Tuple
+
+from ..rdf.terms import URI
+from .node import DocumentNode
+
+
+class Document:
+    """A structured, tree-shaped document (XML / JSON style).
+
+    The document is identified by the URI of its root node; every node of
+    the tree identifies the fragment rooted at it.
+    """
+
+    def __init__(self, root: DocumentNode):
+        if not root.is_root:
+            raise ValueError("a Document must be built from a root node")
+        self.root = root
+        self._nodes: Dict[URI, DocumentNode] = {}
+        for node in root.iter_subtree():
+            if node.uri in self._nodes:
+                raise ValueError(f"duplicate node URI in document: {node.uri}")
+            self._nodes[node.uri] = node
+
+    # ------------------------------------------------------------------
+    @property
+    def uri(self) -> URI:
+        """The document URI (the root node's URI)."""
+        return self.root.uri
+
+    def __contains__(self, uri: URI) -> bool:
+        return uri in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, uri: URI) -> DocumentNode:
+        """Return the node with the given URI."""
+        return self._nodes[uri]
+
+    def nodes(self) -> Iterator[DocumentNode]:
+        """Iterate over all nodes in document order."""
+        return self.root.iter_subtree()
+
+    def fragments(self, uri: Optional[URI] = None) -> Set[URI]:
+        """``Frag(d)``: URIs of all nodes in the subtree rooted at *uri*.
+
+        With no argument, returns the fragments of the whole document.
+        A fragment is a fragment of itself.
+        """
+        start = self.root if uri is None else self._nodes[uri]
+        return {node.uri for node in start.iter_subtree()}
+
+    def pos(self, ancestor: URI, fragment: URI) -> Tuple[int, ...]:
+        """``pos(d, f)``: the Dewey path from *ancestor* down to *fragment*.
+
+        Returns the list of child indexes ``(i1, ..., in)``; the empty tuple
+        when ``ancestor == fragment``.  Raises ``ValueError`` when
+        *fragment* is not inside the subtree of *ancestor*.
+        """
+        anc = self._nodes[ancestor]
+        frag = self._nodes[fragment]
+        if frag.dewey[: len(anc.dewey)] != anc.dewey:
+            raise ValueError(f"{fragment} is not a fragment of {ancestor}")
+        return frag.dewey[len(anc.dewey):]
+
+    def structural_distance(self, ancestor: URI, fragment: URI) -> int:
+        """``|pos(d, f)|`` — the length of the Dewey path."""
+        return len(self.pos(ancestor, fragment))
+
+    def ancestors_or_self(self, uri: URI) -> Iterator[URI]:
+        """URIs ``d`` such that *uri* is in ``Frag(d)`` (self first)."""
+        node = self._nodes[uri]
+        yield node.uri
+        for anc in node.ancestors():
+            yield anc.uri
+
+    def vertical_neighbors(self, uri: URI) -> Set[URI]:
+        """Definition 2.2: ancestors and descendants of *uri* (not self).
+
+        Siblings and cousins are *not* vertical neighbors — in Figure 3,
+        ``URI0.0.0`` and ``URI0.1`` are not neighbors.
+        """
+        node = self._nodes[uri]
+        neighbors = {n.uri for n in node.iter_subtree()}
+        neighbors.discard(uri)
+        for anc in node.ancestors():
+            neighbors.add(anc.uri)
+        return neighbors
+
+    def keywords(self) -> Set[str]:
+        """All keywords contained anywhere in the document."""
+        found: Set[str] = set()
+        for node in self.nodes():
+            found.update(node.keywords)
+        return found
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Document({self.uri}, {len(self)} nodes)"
+
+
+def build_document(
+    uri: str,
+    name: str = "doc",
+    keywords: Sequence[str] = (),
+) -> DocumentNode:
+    """Convenience constructor for a document root node."""
+    return DocumentNode(URI(uri), name, keywords)

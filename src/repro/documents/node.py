@@ -1,0 +1,88 @@
+"""Document tree nodes with Dewey-style positions.
+
+Section 2.3: a document is an unranked, ordered tree of nodes; every node
+has a URI, a name from ``N`` and a content seen as a set of keywords.  Any
+subtree rooted at a node of document ``d`` is a *fragment* of ``d``.  The
+function ``pos(d, f)`` returns the Dewey path (list of child indexes)
+leading from ``d``'s root to the root of fragment ``f`` — implemented here
+by storing ORDPATH-style Dewey identifiers [19, 22] on the nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..rdf.terms import URI
+
+
+class DocumentNode:
+    """One node of a structured document tree.
+
+    Attributes
+    ----------
+    uri:
+        The node's URI; fragments are identified by the URI of their root
+        node, so this also identifies the fragment rooted here.
+    name:
+        The node name (XML element name / JSON key).
+    keywords:
+        The stemmed keyword content of this node's own text.
+    dewey:
+        The Dewey identifier: ``()`` for the root, ``parent.dewey + (i,)``
+        for the *i*-th child (1-based, as in the paper's example where
+        ``pos(d0.3.2, d0)`` may be ``(3, 2)``).
+    """
+
+    __slots__ = ("uri", "name", "keywords", "dewey", "parent", "children")
+
+    def __init__(
+        self,
+        uri: URI,
+        name: str,
+        keywords: Optional[Sequence[str]] = None,
+        parent: Optional["DocumentNode"] = None,
+    ):
+        self.uri = uri
+        self.name = name
+        self.keywords: Tuple[str, ...] = tuple(keywords or ())
+        self.parent = parent
+        self.children: List[DocumentNode] = []
+        if parent is None:
+            self.dewey: Tuple[int, ...] = ()
+        else:
+            self.dewey = parent.dewey + (len(parent.children) + 1,)
+            parent.children.append(self)
+
+    # ------------------------------------------------------------------
+    def add_child(
+        self, uri: URI, name: str, keywords: Optional[Sequence[str]] = None
+    ) -> "DocumentNode":
+        """Append and return a new child node."""
+        return DocumentNode(uri, name, keywords, parent=self)
+
+    def iter_subtree(self) -> Iterator["DocumentNode"]:
+        """Yield this node and all its descendants in document order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def ancestors(self) -> Iterator["DocumentNode"]:
+        """Yield strict ancestors, nearest first."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    @property
+    def depth(self) -> int:
+        """Distance from the document root (root has depth 0)."""
+        return len(self.dewey)
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"DocumentNode({self.uri}, name={self.name!r}, dewey={self.dewey})"

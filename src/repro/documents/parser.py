@@ -1,0 +1,95 @@
+"""Parsers turning raw XML / JSON content into :class:`Document` trees.
+
+Section 2.3 allows any tree-shaped content ("e.g., XML, JSON, etc.").  Node
+URIs follow the paper's convention of suffixing the parent URI with the
+child's ordinal: the fragment at position ``(3, 2)`` of document ``d0`` has
+URI ``d0.3.2``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+from xml.etree import ElementTree
+
+from ..rdf.terms import URI
+from .document import Document
+from .node import DocumentNode
+from .text import extract_keywords
+
+
+def _child_uri(parent: DocumentNode) -> URI:
+    return URI(f"{parent.uri}.{len(parent.children) + 1}")
+
+
+def parse_xml(uri: str, xml_text: str) -> Document:
+    """Parse an XML string into a :class:`Document`.
+
+    Element text becomes the node's keyword content (tokenized, stop words
+    removed, stemmed); attributes are ignored (they carry no free text in
+    our corpora); children become child fragments in document order.
+    """
+    element = ElementTree.fromstring(xml_text)
+    root = DocumentNode(URI(uri), element.tag, extract_keywords(element.text or ""))
+    _attach_xml_children(root, element)
+    return Document(root)
+
+
+def _attach_xml_children(parent: DocumentNode, element: ElementTree.Element) -> None:
+    for child in element:
+        node = parent.add_child(
+            _child_uri(parent), child.tag, extract_keywords(child.text or "")
+        )
+        _attach_xml_children(node, child)
+
+
+def parse_json(uri: str, json_text: str, root_name: str = "doc") -> Document:
+    """Parse a JSON string into a :class:`Document`.
+
+    Objects map keys to child fragments named after the key; arrays map
+    entries to child fragments named ``item``; scalars become the keyword
+    content of their node.
+    """
+    value = json.loads(json_text)
+    root = DocumentNode(URI(uri), root_name)
+    _attach_json(root, value)
+    return Document(root)
+
+
+def _attach_json(parent: DocumentNode, value: object) -> None:
+    if isinstance(value, dict):
+        for key, sub_value in value.items():
+            node = parent.add_child(_child_uri(parent), str(key))
+            _attach_json(node, sub_value)
+    elif isinstance(value, list):
+        for sub_value in value:
+            node = parent.add_child(_child_uri(parent), "item")
+            _attach_json(node, sub_value)
+    elif value is not None:
+        parent.keywords = parent.keywords + tuple(extract_keywords(str(value)))
+
+
+def parse_text(
+    uri: str,
+    text: str,
+    name: str = "text",
+    sentence_fragments: bool = False,
+    stop_words: Optional[frozenset] = None,
+) -> Document:
+    """Parse plain text into a one-node document.
+
+    With ``sentence_fragments=True`` each sentence becomes a child fragment
+    — the construction used for Vodkaster comments in Section 5.1 ("each
+    stemmed sentence was made a fragment of the comment").
+    """
+    kwargs = {} if stop_words is None else {"stop_words": stop_words}
+    if not sentence_fragments:
+        root = DocumentNode(URI(uri), name, extract_keywords(text, **kwargs))
+        return Document(root)
+    root = DocumentNode(URI(uri), name)
+    sentences = [s.strip() for s in text.replace("!", ".").replace("?", ".").split(".")]
+    for sentence in sentences:
+        if not sentence:
+            continue
+        root.add_child(_child_uri(root), "sentence", extract_keywords(sentence, **kwargs))
+    return Document(root)

@@ -1,0 +1,208 @@
+"""Text processing: tokenization, stop-word removal and stemming.
+
+Section 2 of the paper: *"we consider each text appearing in a document has
+been broken into words, stop words have been removed, and the remaining
+words have been stemmed"*, and the keyword set ``K`` contains *"the stemmed
+version of all literals"* (e.g. stemming replaces "graduation" with
+"graduate").
+
+The stemmer implemented here is the classic Porter (1980) algorithm — the
+standard IR choice and more than adequate for reproducing keyword-frequency
+behaviour.  It is self-contained (no NLTK available offline).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List
+
+#: A compact English stop-word list (the usual IR closed-class words).
+STOP_WORDS = frozenset(
+    """a about above after again against all am an and any are as at be because
+    been before being below between both but by cannot could did do does doing
+    down during each few for from further had has have having he her here hers
+    herself him himself his how i if in into is it its itself me more most my
+    myself no nor not of off on once only or other ought our ours ourselves out
+    over own same she should so some such than that the their theirs them
+    themselves then there these they this those through to too under until up
+    very was we were what when where which while who whom why with would you
+    your yours yourself yourselves rt via amp""".split()
+)
+
+_TOKEN_RE = re.compile(r"[A-Za-z][A-Za-z0-9_']*|#\w+|@\w+|\d{4}")
+
+_VOWELS = "aeiou"
+
+
+def _is_consonant(word: str, i: int) -> bool:
+    ch = word[i]
+    if ch in _VOWELS:
+        return False
+    if ch == "y":
+        return i == 0 or not _is_consonant(word, i - 1)
+    return True
+
+
+def _measure(stem: str) -> int:
+    """Porter's m: the number of VC sequences in the stem."""
+    m = 0
+    prev_vowel = False
+    for i in range(len(stem)):
+        vowel = not _is_consonant(stem, i)
+        if prev_vowel and not vowel:
+            m += 1
+        prev_vowel = vowel
+    return m
+
+
+def _contains_vowel(stem: str) -> bool:
+    return any(not _is_consonant(stem, i) for i in range(len(stem)))
+
+
+def _ends_double_consonant(word: str) -> bool:
+    return (
+        len(word) >= 2
+        and word[-1] == word[-2]
+        and _is_consonant(word, len(word) - 1)
+    )
+
+
+def _ends_cvc(word: str) -> bool:
+    if len(word) < 3:
+        return False
+    if not (
+        _is_consonant(word, len(word) - 3)
+        and not _is_consonant(word, len(word) - 2)
+        and _is_consonant(word, len(word) - 1)
+    ):
+        return False
+    return word[-1] not in "wxy"
+
+
+def _replace_suffix(word: str, suffix: str, replacement: str, min_measure: int) -> str:
+    stem = word[: -len(suffix)]
+    if _measure(stem) > min_measure:
+        return stem + replacement
+    return word
+
+
+def porter_stem(word: str) -> str:
+    """Return the Porter stem of *word* (assumed lowercase alphabetic)."""
+    if len(word) <= 2:
+        return word
+
+    # Step 1a
+    if word.endswith("sses"):
+        word = word[:-2]
+    elif word.endswith("ies"):
+        word = word[:-2]
+    elif word.endswith("ss"):
+        pass
+    elif word.endswith("s"):
+        word = word[:-1]
+
+    # Step 1b
+    if word.endswith("eed"):
+        if _measure(word[:-3]) > 0:
+            word = word[:-1]
+    else:
+        flag = False
+        if word.endswith("ed") and _contains_vowel(word[:-2]):
+            word = word[:-2]
+            flag = True
+        elif word.endswith("ing") and _contains_vowel(word[:-3]):
+            word = word[:-3]
+            flag = True
+        if flag:
+            if word.endswith(("at", "bl", "iz")):
+                word += "e"
+            elif _ends_double_consonant(word) and word[-1] not in "lsz":
+                word = word[:-1]
+            elif _measure(word) == 1 and _ends_cvc(word):
+                word += "e"
+
+    # Step 1c
+    if word.endswith("y") and _contains_vowel(word[:-1]):
+        word = word[:-1] + "i"
+
+    # Step 2
+    step2 = (
+        ("ational", "ate"), ("tional", "tion"), ("enci", "ence"), ("anci", "ance"),
+        ("izer", "ize"), ("abli", "able"), ("alli", "al"), ("entli", "ent"),
+        ("eli", "e"), ("ousli", "ous"), ("ization", "ize"), ("ation", "ate"),
+        ("ator", "ate"), ("alism", "al"), ("iveness", "ive"), ("fulness", "ful"),
+        ("ousness", "ous"), ("aliti", "al"), ("iviti", "ive"), ("biliti", "ble"),
+    )
+    for suffix, replacement in step2:
+        if word.endswith(suffix):
+            word = _replace_suffix(word, suffix, replacement, 0)
+            break
+
+    # Step 3
+    step3 = (
+        ("icate", "ic"), ("ative", ""), ("alize", "al"), ("iciti", "ic"),
+        ("ical", "ic"), ("ful", ""), ("ness", ""),
+    )
+    for suffix, replacement in step3:
+        if word.endswith(suffix):
+            word = _replace_suffix(word, suffix, replacement, 0)
+            break
+
+    # Step 4
+    step4 = (
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+        "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    )
+    for suffix in step4:
+        if word.endswith(suffix):
+            stem = word[: -len(suffix)]
+            if suffix == "ent" and stem.endswith(("em", "m")):
+                # handled by "ement"/"ment" entries; avoid double-stripping
+                pass
+            if _measure(stem) > 1:
+                if suffix == "ion" and not stem.endswith(("s", "t")):
+                    continue
+                word = stem
+            break
+    else:
+        if word.endswith("ion"):
+            stem = word[:-3]
+            if _measure(stem) > 1 and stem.endswith(("s", "t")):
+                word = stem
+
+    # Step 5a
+    if word.endswith("e"):
+        stem = word[:-1]
+        m = _measure(stem)
+        if m > 1 or (m == 1 and not _ends_cvc(stem)):
+            word = stem
+
+    # Step 5b
+    if _measure(word) > 1 and _ends_double_consonant(word) and word.endswith("l"):
+        word = word[:-1]
+
+    return word
+
+
+def tokenize(text: str) -> List[str]:
+    """Split *text* into lowercase raw tokens (words, hashtags, mentions)."""
+    return [token.lower() for token in _TOKEN_RE.findall(text)]
+
+
+def extract_keywords(text: str, stop_words: Iterable[str] = STOP_WORDS) -> List[str]:
+    """Tokenize, drop stop words and stem — the paper's content pipeline.
+
+    Hashtags and @-mentions keep their marker and are not stemmed (they
+    behave like identifiers).  Returns keywords in order of appearance,
+    duplicates preserved (callers needing sets should wrap in ``set``).
+    """
+    stop = set(stop_words)
+    keywords: List[str] = []
+    for token in tokenize(text):
+        if token in stop:
+            continue
+        if token.startswith(("#", "@")) or token.isdigit():
+            keywords.append(token)
+        else:
+            keywords.append(porter_stem(token))
+    return keywords

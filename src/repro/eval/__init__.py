@@ -1,0 +1,23 @@
+"""Evaluation: qualitative measures and the S3k-vs-TopkS harness."""
+
+from .comparison import ComparisonReport, compare_engines
+from .measures import (
+    graph_reachability,
+    intersection_size,
+    normalized_footrule,
+    semantic_reachability,
+    spearman_footrule,
+)
+from .reporting import format_paper_comparison, format_table
+
+__all__ = [
+    "ComparisonReport",
+    "compare_engines",
+    "graph_reachability",
+    "intersection_size",
+    "normalized_footrule",
+    "semantic_reachability",
+    "spearman_footrule",
+    "format_table",
+    "format_paper_comparison",
+]

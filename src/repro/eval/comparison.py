@@ -1,0 +1,96 @@
+"""S3k-vs-TopkS comparison harness producing the Figure 8 rows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import fmean
+from typing import Dict, List, Sequence
+
+from ..baselines import TopkSSearcher, uit_from_instance
+from ..core.search import S3kSearch
+from ..queries.workload import QuerySpec, Workload
+from ..rdf.terms import URI
+from .measures import (
+    graph_reachability,
+    intersection_size,
+    normalized_footrule,
+    semantic_reachability,
+)
+
+
+@dataclass
+class ComparisonReport:
+    """Averaged Figure 8 measures over one or more workloads."""
+
+    graph_reachability: float = 0.0
+    semantic_reachability: float = 0.0
+    l1: float = 0.0
+    intersection: float = 0.0
+    queries: int = 0
+
+    def rows(self) -> Dict[str, str]:
+        return {
+            "Graph reachability": f"{self.graph_reachability:.0%}",
+            "Semantic reachability": f"{self.semantic_reachability:.0%}",
+            "L1": f"{self.l1:.0%}",
+            "Intersection size": f"{self.intersection:.1%}",
+        }
+
+
+def compare_engines(
+    engine: S3kSearch,
+    workloads: Sequence[Workload],
+    alpha: float = 0.5,
+) -> ComparisonReport:
+    """Run every query through S3k and TopkS, average the 4 measures.
+
+    S3k results (document URIs) are mapped to UIT items through the §5.1
+    adapter so the two result lists are comparable, exactly as the paper
+    compares against the original TopkS implementation.
+    """
+    dataset, doc_to_item = uit_from_instance(engine.instance, engine.component_index)
+    topks = TopkSSearcher(dataset, alpha=alpha)
+
+    graph_values: List[float] = []
+    semantic_values: List[float] = []
+    l1_values: List[float] = []
+    intersection_values: List[float] = []
+    queries = 0
+
+    for workload in workloads:
+        for spec in workload.queries:
+            s3k_result = engine.search(spec.seeker, spec.keywords, k=spec.k)
+            s3k_plain = engine.search(
+                spec.seeker, spec.keywords, k=spec.k, semantic=False
+            )
+            topks_result = topks.search(
+                str(spec.seeker), [str(kw) for kw in spec.keywords], k=spec.k
+            )
+            reachable = dataset.socially_reachable_items(
+                str(spec.seeker), [str(kw) for kw in spec.keywords]
+            )
+
+            graph_values.append(
+                graph_reachability(s3k_result.candidate_uris, doc_to_item, reachable)
+            )
+            semantic_values.append(
+                semantic_reachability(
+                    len(s3k_plain.candidate_uris), len(s3k_result.candidate_uris)
+                )
+            )
+            s3k_items = [doc_to_item.get(uri, str(uri)) for uri in s3k_result.uris]
+            l1_values.append(normalized_footrule(s3k_items, topks_result.items))
+            intersection_values.append(
+                intersection_size(s3k_items, topks_result.items)
+            )
+            queries += 1
+
+    if queries == 0:
+        return ComparisonReport()
+    return ComparisonReport(
+        graph_reachability=fmean(graph_values),
+        semantic_reachability=fmean(semantic_values),
+        l1=fmean(l1_values),
+        intersection=fmean(intersection_values),
+        queries=queries,
+    )

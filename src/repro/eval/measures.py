@@ -1,0 +1,88 @@
+"""Qualitative comparison measures (Section 5.4 / Figure 8).
+
+* **graph reachability** — fraction of S3k candidates *not* reachable by
+  the TopkS search (TopkS cannot follow document-to-document links);
+* **semantic reachability** — ratio of candidates examined *without*
+  query expansion to candidates examined *with* it;
+* **intersection size** — fraction of S3k results TopkS also returned;
+* **L1** — Spearman's foot-rule distance between the two ranked lists,
+  with the paper's penalty for non-shared items:
+
+  ``L1(τ1, τ2) = 2(k−|τ1∩τ2|)(k+1) + Σ_{i∈τ1∩τ2} |τ1(i)−τ2(i)|
+  − Σ_{τ∈{τ1,τ2}} Σ_{i∈τ∖(τ1∩τ2)} τ(i)``
+
+  (ranks 1-based).  Identical lists give 0; disjoint lists give
+  ``k(k+1)``, which we use to normalize into [0, 1].
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+
+def spearman_footrule(list_a: Sequence, list_b: Sequence) -> float:
+    """The paper's L1 distance between two ranked lists (raw value)."""
+    k = max(len(list_a), len(list_b))
+    rank_a: Dict[object, int] = {item: i + 1 for i, item in enumerate(list_a)}
+    rank_b: Dict[object, int] = {item: i + 1 for i, item in enumerate(list_b)}
+    shared = set(rank_a) & set(rank_b)
+    value = 2.0 * (k - len(shared)) * (k + 1)
+    value += sum(abs(rank_a[i] - rank_b[i]) for i in shared)
+    value -= sum(rank for item, rank in rank_a.items() if item not in shared)
+    value -= sum(rank for item, rank in rank_b.items() if item not in shared)
+    return value
+
+
+def normalized_footrule(list_a: Sequence, list_b: Sequence) -> float:
+    """L1 scaled into [0, 1] by the disjoint-lists value for these lengths.
+
+    For two disjoint lists of lengths ``la``, ``lb`` the formula yields
+    ``2k(k+1) − la(la+1)/2 − lb(lb+1)/2`` (with ``k = max(la, lb)``); the
+    result is clamped to [0, 1] for the rare partial-overlap cases that
+    exceed the disjoint value.
+    """
+    la, lb = len(list_a), len(list_b)
+    k = max(la, lb)
+    if k == 0:
+        return 0.0
+    disjoint = 2.0 * k * (k + 1) - la * (la + 1) / 2 - lb * (lb + 1) / 2
+    if disjoint <= 0:
+        return 0.0
+    return min(1.0, max(0.0, spearman_footrule(list_a, list_b) / disjoint))
+
+
+def intersection_size(list_a: Sequence, list_b: Sequence) -> float:
+    """|τ1 ∩ τ2| / k — the fraction of shared results."""
+    k = max(len(list_a), len(list_b))
+    if k == 0:
+        return 0.0
+    return len(set(list_a) & set(list_b)) / k
+
+
+def graph_reachability(
+    s3k_candidates: Iterable,
+    candidate_items: Dict[object, str],
+    topks_reachable: Set[str],
+) -> float:
+    """Fraction of S3k candidates outside TopkS's reach.
+
+    *candidate_items* maps each S3k candidate document to its UIT item;
+    *topks_reachable* is the item set TopkS could ever examine for the
+    query.
+    """
+    candidates = list(s3k_candidates)
+    if not candidates:
+        return 0.0
+    unreachable = sum(
+        1
+        for candidate in candidates
+        if candidate_items.get(candidate) not in topks_reachable
+    )
+    return unreachable / len(candidates)
+
+
+def semantic_reachability(candidates_without: int, candidates_with: int) -> float:
+    """#candidates without query expansion / #candidates with it."""
+    if candidates_with == 0:
+        return 1.0
+    return candidates_without / candidates_with

@@ -1,0 +1,24 @@
+"""Query workloads and timing harness (Section 5.1)."""
+
+from .runner import TimingSummary, run_workload, s3k_runner, topks_runner
+from .workload import (
+    QuerySpec,
+    Workload,
+    WorkloadBuilder,
+    connected_seekers,
+    document_frequencies,
+    frequency_buckets,
+)
+
+__all__ = [
+    "QuerySpec",
+    "Workload",
+    "WorkloadBuilder",
+    "document_frequencies",
+    "frequency_buckets",
+    "connected_seekers",
+    "TimingSummary",
+    "run_workload",
+    "s3k_runner",
+    "topks_runner",
+]

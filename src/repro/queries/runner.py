@@ -1,0 +1,74 @@
+"""Workload execution and timing summaries (for Figures 5-7)."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from .workload import QuerySpec, Workload
+
+
+@dataclass
+class TimingSummary:
+    """min / quartiles / max of per-query run times, in seconds."""
+
+    name: str
+    times: List[float] = field(default_factory=list)
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.times) if self.times else 0.0
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.times) if self.times else 0.0
+
+    def quartiles(self) -> Dict[str, float]:
+        """The five numbers plotted in Figure 7."""
+        if not self.times:
+            return {"min": 0.0, "q1": 0.0, "median": 0.0, "q3": 0.0, "max": 0.0}
+        ordered = sorted(self.times)
+        q = statistics.quantiles(ordered, n=4) if len(ordered) > 1 else [ordered[0]] * 3
+        return {
+            "min": ordered[0],
+            "q1": q[0],
+            "median": statistics.median(ordered),
+            "q3": q[2],
+            "max": ordered[-1],
+        }
+
+
+def run_workload(
+    run_query: Callable[[QuerySpec], object],
+    workload: Workload,
+    label: str = "",
+) -> TimingSummary:
+    """Run every query of *workload* through *run_query*, timing each."""
+    summary = TimingSummary(name=label or workload.name)
+    for spec in workload.queries:
+        started = time.perf_counter()
+        run_query(spec)
+        summary.times.append(time.perf_counter() - started)
+    return summary
+
+
+def s3k_runner(engine, **search_kwargs) -> Callable[[QuerySpec], object]:
+    """Adapter: a QuerySpec runner over an :class:`S3kSearch` engine."""
+
+    def run(spec: QuerySpec):
+        return engine.search(spec.seeker, spec.keywords, k=spec.k, **search_kwargs)
+
+    return run
+
+
+def topks_runner(searcher) -> Callable[[QuerySpec], object]:
+    """Adapter: a QuerySpec runner over a :class:`TopkSSearcher`."""
+
+    def run(spec: QuerySpec):
+        return searcher.search(
+            str(spec.seeker), [str(kw) for kw in spec.keywords], k=spec.k
+        )
+
+    return run

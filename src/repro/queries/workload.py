@@ -1,0 +1,166 @@
+"""Query workloads ``qset_{f,l,k}`` (Section 5.1).
+
+Workloads vary three independent parameters:
+
+* ``f`` — keyword frequency: rare ``'-'`` (bottom 25% of document
+  frequencies) or common ``'+'`` (top 25%);
+* ``l`` — number of keywords per query (1 or 5 in the paper);
+* ``k`` — requested result count (5 or 10; 1..50 for Figure 7).
+
+Each workload is a list of (seeker, keywords, k) query specs with seekers
+drawn from the socially-connected users.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.instance import S3Instance
+from ..rdf.namespaces import S3_CONTAINS, S3_SOCIAL
+from ..rdf.terms import Term, URI, coerce_term
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One keyword query: seeker, keyword set and requested k."""
+
+    seeker: URI
+    keywords: Tuple[Term, ...]
+    k: int
+
+
+@dataclass
+class Workload:
+    """A named batch of queries, e.g. ``qset(+,1,5)``."""
+
+    name: str
+    frequency: str  # '+' or '-'
+    n_keywords: int
+    k: int
+    queries: List[QuerySpec] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+def document_frequencies(instance: S3Instance) -> Dict[Term, int]:
+    """Keyword → number of *documents* (root trees) containing it."""
+    frequencies: Dict[Term, set] = {}
+    for wt in instance.graph.triples(predicate=S3_CONTAINS):
+        root = instance.node_to_document.get(wt.subject)
+        if root is None:
+            continue
+        frequencies.setdefault(wt.object, set()).add(root)
+    return {keyword: len(roots) for keyword, roots in frequencies.items()}
+
+
+def frequency_buckets(
+    frequencies: Dict[Term, int]
+) -> Tuple[List[Term], List[Term]]:
+    """Split keywords into (rare, common): bottom / top frequency quartiles."""
+    ordered = sorted(frequencies.items(), key=lambda item: (item[1], item[0]))
+    if not ordered:
+        return [], []
+    quartile = max(1, len(ordered) // 4)
+    rare = [keyword for keyword, _ in ordered[:quartile]]
+    common = [keyword for keyword, _ in ordered[-quartile:]]
+    return rare, common
+
+
+def connected_seekers(instance: S3Instance) -> List[URI]:
+    """Users with at least one outgoing social edge (sensible seekers)."""
+    seekers = {
+        wt.subject
+        for wt in instance.graph.triples(predicate=S3_SOCIAL)
+        if wt.subject in instance.users
+    }
+    return sorted(seekers) or sorted(instance.users)
+
+
+class WorkloadBuilder:
+    """Generates the paper's workload grid over one instance."""
+
+    def __init__(self, instance: S3Instance, seed: int = 0):
+        self.instance = instance
+        self._rng = random.Random(seed)
+        self._frequencies = document_frequencies(instance)
+        self._rare, self._common = frequency_buckets(self._frequencies)
+        self._seekers = connected_seekers(instance)
+        #: pool keyword -> documents containing it (for co-occurrence
+        #: sampling of multi-keyword queries)
+        self._documents_of: Dict[Term, List[URI]] = {}
+        for wt in instance.graph.triples(predicate=S3_CONTAINS):
+            root = instance.node_to_document.get(wt.subject)
+            if root is not None:
+                self._documents_of.setdefault(wt.object, []).append(root)
+
+    def build(self, frequency: str, n_keywords: int, k: int, n_queries: int) -> Workload:
+        """One ``qset_{f,l,k}`` workload of *n_queries* random queries."""
+        if frequency not in ("+", "-"):
+            raise ValueError(f"frequency must be '+' or '-', got {frequency!r}")
+        pool = self._common if frequency == "+" else self._rare
+        if not pool:
+            raise ValueError("instance has no keywords to build a workload from")
+        workload = Workload(
+            name=f"qset({frequency},{n_keywords},{k})",
+            frequency=frequency,
+            n_keywords=n_keywords,
+            k=k,
+        )
+        for _ in range(n_queries):
+            keywords = self._sample_keywords(pool, n_keywords)
+            seeker = self._rng.choice(self._seekers)
+            workload.queries.append(QuerySpec(seeker, keywords, k))
+        return workload
+
+    def _sample_keywords(self, pool: List[Term], n_keywords: int) -> Tuple[Term, ...]:
+        """Sample query keywords from *pool*.
+
+        Single-keyword queries draw uniformly from the pool.  Multi-keyword
+        queries are anchored on one pool keyword and completed with
+        keywords co-occurring in one document containing it — the score is
+        a product over query keywords, so queries whose keywords never
+        co-occur have an empty answer by construction and would not
+        exercise the search (real workload keywords are correlated).
+        """
+        anchor = self._rng.choice(pool)
+        if n_keywords == 1:
+            return (anchor,)
+        documents = self._documents_of.get(anchor)
+        chosen: List[Term] = [anchor]
+        if documents:
+            root = self._rng.choice(documents)
+            document = self.instance.documents[root]
+            companions = sorted(
+                {term for term in
+                 (coerce_term(k) for k in document.keywords())
+                 if term != anchor}
+            )
+            self._rng.shuffle(companions)
+            chosen.extend(companions[: n_keywords - 1])
+        while len(chosen) < n_keywords and len(chosen) < len(pool):
+            extra = self._rng.choice(pool)
+            if extra not in chosen:
+                chosen.append(extra)
+        return tuple(chosen[:n_keywords])
+
+    def paper_grid(self, n_queries: int = 100) -> List[Workload]:
+        """The 8 workloads of Figures 5/6: f∈{+,−} × l∈{1,5} × k∈{5,10}."""
+        grid = []
+        for frequency in ("+", "-"):
+            for n_keywords in (1, 5):
+                for k in (5, 10):
+                    grid.append(self.build(frequency, n_keywords, k, n_queries))
+        return grid
+
+    def vary_k_grid(
+        self, ks: Sequence[int] = (1, 5, 10, 50), n_queries: int = 100
+    ) -> List[Workload]:
+        """The Figure 7 workloads: f∈{+,−}, l=1, k ∈ *ks*."""
+        grid = []
+        for frequency in ("+", "-"):
+            for k in ks:
+                grid.append(self.build(frequency, 1, k, n_queries))
+        return grid

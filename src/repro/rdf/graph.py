@@ -1,0 +1,149 @@
+"""An indexed, weighted RDF graph.
+
+This is the storage substrate for an S3 instance ``I`` (Section 2.1):
+a set of weighted triples ``(s, p, o, w)`` with ``w in [0, 1]`` and a
+default weight of 1.  The graph maintains hash indexes by subject,
+property, object and (subject, property) so that the pattern lookups used
+by saturation, keyword extension and path exploration are O(result size).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+from .terms import Term, URI
+from .triples import Triple, WeightedTriple, make_weighted
+
+
+class RDFGraph:
+    """A mutable, indexed set of weighted RDF triples.
+
+    Adding a triple that is already present keeps the *maximum* of the old
+    and new weights: a certain statement (weight 1) is never demoted by a
+    quantitative one.
+    """
+
+    def __init__(self, triples: Optional[Iterable[WeightedTriple]] = None):
+        self._weights: Dict[Triple, float] = {}
+        self._by_subject: Dict[URI, Set[Triple]] = defaultdict(set)
+        self._by_predicate: Dict[URI, Set[Triple]] = defaultdict(set)
+        self._by_object: Dict[Term, Set[Triple]] = defaultdict(set)
+        self._by_subject_predicate: Dict[Tuple[URI, URI], Set[Triple]] = defaultdict(set)
+        self._by_predicate_object: Dict[Tuple[URI, Term], Set[Triple]] = defaultdict(set)
+        if triples is not None:
+            for wt in triples:
+                self.add(wt.subject, wt.predicate, wt.object, wt.weight)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, subject: object, predicate: object, obj: object, weight: float = 1.0) -> bool:
+        """Insert a triple; return ``True`` if the graph changed.
+
+        Re-adding an existing triple keeps the maximum weight seen.
+        """
+        wt = make_weighted(subject, predicate, obj, weight)
+        triple = wt.triple
+        current = self._weights.get(triple)
+        if current is not None:
+            if wt.weight > current:
+                self._weights[triple] = wt.weight
+                return True
+            return False
+        self._weights[triple] = wt.weight
+        self._by_subject[triple.subject].add(triple)
+        self._by_predicate[triple.predicate].add(triple)
+        self._by_object[triple.object].add(triple)
+        self._by_subject_predicate[(triple.subject, triple.predicate)].add(triple)
+        self._by_predicate_object[(triple.predicate, triple.object)].add(triple)
+        return True
+
+    def add_triple(self, wt: WeightedTriple) -> bool:
+        """Insert an already-built :class:`WeightedTriple`."""
+        return self.add(wt.subject, wt.predicate, wt.object, wt.weight)
+
+    def discard(self, subject: URI, predicate: URI, obj: Term) -> bool:
+        """Remove a triple if present; return ``True`` if it was removed."""
+        triple = Triple(subject, predicate, obj)
+        if triple not in self._weights:
+            return False
+        del self._weights[triple]
+        self._by_subject[triple.subject].discard(triple)
+        self._by_predicate[triple.predicate].discard(triple)
+        self._by_object[triple.object].discard(triple)
+        self._by_subject_predicate[(triple.subject, triple.predicate)].discard(triple)
+        self._by_predicate_object[(triple.predicate, triple.object)].discard(triple)
+        return True
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def weight(self, subject: URI, predicate: URI, obj: Term) -> Optional[float]:
+        """Return the weight of the triple, or ``None`` when absent."""
+        return self._weights.get(Triple(subject, predicate, obj))
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._weights
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def __iter__(self) -> Iterator[WeightedTriple]:
+        for triple, weight in self._weights.items():
+            yield WeightedTriple(triple.subject, triple.predicate, triple.object, weight)
+
+    def triples(
+        self,
+        subject: Optional[URI] = None,
+        predicate: Optional[URI] = None,
+        obj: Optional[Term] = None,
+    ) -> Iterator[WeightedTriple]:
+        """Iterate over triples matching the pattern; ``None`` is a wildcard."""
+        candidates: Iterable[Triple]
+        if subject is not None and predicate is not None:
+            candidates = self._by_subject_predicate.get((subject, predicate), ())
+        elif predicate is not None and obj is not None:
+            candidates = self._by_predicate_object.get((predicate, obj), ())
+        elif subject is not None:
+            candidates = self._by_subject.get(subject, ())
+        elif obj is not None:
+            candidates = self._by_object.get(obj, ())
+        elif predicate is not None:
+            candidates = self._by_predicate.get(predicate, ())
+        else:
+            candidates = list(self._weights)
+        for triple in candidates:
+            if subject is not None and triple.subject != subject:
+                continue
+            if predicate is not None and triple.predicate != predicate:
+                continue
+            if obj is not None and triple.object != obj:
+                continue
+            yield WeightedTriple(
+                triple.subject, triple.predicate, triple.object, self._weights[triple]
+            )
+
+    def objects(self, subject: URI, predicate: URI) -> Iterator[Term]:
+        """Objects ``o`` such that ``subject predicate o`` is in the graph."""
+        for triple in self._by_subject_predicate.get((subject, predicate), ()):
+            yield triple.object
+
+    def subjects(self, predicate: URI, obj: Term) -> Iterator[URI]:
+        """Subjects ``s`` such that ``s predicate obj`` is in the graph."""
+        for triple in self._by_predicate_object.get((predicate, obj), ()):
+            yield triple.subject
+
+    def subjects_of_type(self, rdf_class: Term) -> Set[URI]:
+        """All subjects declared (or entailed) to be of class *rdf_class*."""
+        from .namespaces import RDF_TYPE
+
+        return set(self.subjects(RDF_TYPE, rdf_class))
+
+    def has_property(self, predicate: URI) -> bool:
+        """Return ``True`` when some triple uses *predicate*."""
+        return bool(self._by_predicate.get(predicate))
+
+    def copy(self) -> "RDFGraph":
+        """Return an independent copy of this graph."""
+        return RDFGraph(iter(self))

@@ -1,0 +1,129 @@
+"""The S3 namespace, RDF/RDFS built-ins and inverse properties.
+
+Table 2 of the paper lists the S3 classes (``S3:user``, ``S3:doc``,
+``S3:relatedTo``) and properties (``S3:postedBy``, ``S3:commentsOn``,
+``S3:partOf``, ``S3:contains``, ``S3:nodeName``, ``S3:hasSubject``,
+``S3:hasKeyword``, ``S3:hasAuthor``, ``S3:social``).  Section 2.4 adds, as
+syntactic sugar, *inverse* properties for the user/document connections:
+``s p̄ o ∈ I`` iff ``o p s ∈ I``.
+"""
+
+from __future__ import annotations
+
+from .terms import URI
+
+# ---------------------------------------------------------------------------
+# RDF / RDFS built-ins (Figure 2 of the paper).
+# ---------------------------------------------------------------------------
+
+#: ``s type o`` — class assertion, relationally ``o(s)``.
+RDF_TYPE = URI("rdf:type")
+#: ``s ≺sc o`` — subclass constraint, relationally ``s ⊆ o``.
+RDFS_SUBCLASS = URI("rdfs:subClassOf")
+#: ``s ≺sp o`` — subproperty constraint.
+RDFS_SUBPROPERTY = URI("rdfs:subPropertyOf")
+#: ``s ←↩d o`` — domain typing constraint.
+RDFS_DOMAIN = URI("rdfs:domain")
+#: ``s ↪→r o`` — range typing constraint.
+RDFS_RANGE = URI("rdfs:range")
+
+#: The four RDFS schema properties.
+SCHEMA_PROPERTIES = frozenset(
+    {RDFS_SUBCLASS, RDFS_SUBPROPERTY, RDFS_DOMAIN, RDFS_RANGE}
+)
+
+# ---------------------------------------------------------------------------
+# S3 classes (Table 2).
+# ---------------------------------------------------------------------------
+
+S3_USER = URI("S3:user")
+S3_DOC = URI("S3:doc")
+S3_RELATED_TO = URI("S3:relatedTo")
+
+# ---------------------------------------------------------------------------
+# S3 properties (Table 2).
+# ---------------------------------------------------------------------------
+
+S3_POSTED_BY = URI("S3:postedBy")
+S3_COMMENTS_ON = URI("S3:commentsOn")
+S3_PART_OF = URI("S3:partOf")
+S3_CONTAINS = URI("S3:contains")
+S3_NODE_NAME = URI("S3:nodeName")
+S3_HAS_SUBJECT = URI("S3:hasSubject")
+S3_HAS_KEYWORD = URI("S3:hasKeyword")
+S3_HAS_AUTHOR = URI("S3:hasAuthor")
+S3_SOCIAL = URI("S3:social")
+
+_INVERSE_SUFFIX = "~inv"
+
+#: Properties for which Section 2.4 defines an inverse ("syntactic sugar to
+#: simplify the traversal of connections between users and documents").
+INVERTIBLE_PROPERTIES = (
+    S3_POSTED_BY,
+    S3_COMMENTS_ON,
+    S3_HAS_SUBJECT,
+    S3_HAS_AUTHOR,
+)
+
+
+def inverse_property(prop: URI) -> URI:
+    """Return the inverse property ``p̄`` of *prop* (an involution)."""
+    raw = str(prop)
+    if raw.endswith(_INVERSE_SUFFIX):
+        return URI(raw[: -len(_INVERSE_SUFFIX)])
+    return URI(raw + _INVERSE_SUFFIX)
+
+
+def is_inverse_property(prop: URI) -> bool:
+    """Return ``True`` when *prop* is an inverse property ``p̄``."""
+    return str(prop).endswith(_INVERSE_SUFFIX)
+
+
+#: Inverse S3 properties, materialized alongside their direct versions.
+S3_POSTED_BY_INV = inverse_property(S3_POSTED_BY)
+S3_COMMENTS_ON_INV = inverse_property(S3_COMMENTS_ON)
+S3_HAS_SUBJECT_INV = inverse_property(S3_HAS_SUBJECT)
+S3_HAS_AUTHOR_INV = inverse_property(S3_HAS_AUTHOR)
+
+
+def in_s3_namespace(prop: URI) -> bool:
+    """Return ``True`` when *prop* belongs to the S3 namespace.
+
+    Inverse properties of S3 properties are considered part of the
+    namespace as well, since they encode the same connections.
+    """
+    return str(prop).startswith("S3:")
+
+
+#: Properties whose edges are *network edges* (Section 2.5): S3 properties
+#: other than ``S3:partOf`` linking users, documents or tags.  ``contains``
+#: and ``nodeName`` never qualify because their objects are keywords/names,
+#: not users/documents/tags; they are excluded here directly.
+NETWORK_EDGE_PROPERTIES = frozenset(
+    {
+        S3_SOCIAL,
+        S3_POSTED_BY,
+        S3_POSTED_BY_INV,
+        S3_COMMENTS_ON,
+        S3_COMMENTS_ON_INV,
+        S3_HAS_SUBJECT,
+        S3_HAS_SUBJECT_INV,
+        S3_HAS_AUTHOR,
+        S3_HAS_AUTHOR_INV,
+    }
+)
+
+#: Properties along which Algorithm ``GetDocuments`` walks to gather the
+#: connected component of a document or tag (Section 5.2).
+COMPONENT_PROPERTIES = frozenset(
+    {
+        S3_PART_OF,
+        S3_COMMENTS_ON,
+        S3_COMMENTS_ON_INV,
+        S3_HAS_SUBJECT,
+        S3_HAS_SUBJECT_INV,
+    }
+)
+
+#: FOAF name property used for the DBpedia-style lexicalizations (Section 5.1).
+FOAF_NAME = URI("foaf:name")

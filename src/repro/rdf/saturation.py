@@ -1,0 +1,161 @@
+"""RDFS saturation (closure) of a weighted RDF graph.
+
+Section 2.1: *"the saturation of a weighted RDF graph [is] the saturation
+derived only from its triples whose weight is 1. Any entailment rule of the
+form a, b ⊢ c applies only if the weight of a and b is 1; in this case, the
+entailed triple c also has the weight 1."*
+
+The immediate-entailment rules implemented here are the RDFS rules induced
+by Figure 2 of the paper (rdfs2, rdfs3, rdfs5, rdfs7, rdfs9, rdfs11 in the
+W3C numbering):
+
+==========  =====================================================
+rdfs2       ``p ←↩d c``, ``s p o``        ⊢  ``s type c``
+rdfs3       ``p ↪→r c``, ``s p o``        ⊢  ``o type c``
+rdfs5       ``p1 ≺sp p2``, ``p2 ≺sp p3``  ⊢  ``p1 ≺sp p3``
+rdfs7       ``s p1 o``, ``p1 ≺sp p2``     ⊢  ``s p2 o``
+rdfs9       ``s type c1``, ``c1 ≺sc c2``  ⊢  ``s type c2``
+rdfs11      ``c1 ≺sc c2``, ``c2 ≺sc c3``  ⊢  ``c1 ≺sc c3``
+==========  =====================================================
+
+Saturation is computed with a semi-naive fixpoint: each round only matches
+rule premises against triples derived in the previous round, which makes the
+closure linear in the size of its output for the rule set above.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from .graph import RDFGraph
+from .namespaces import (
+    RDF_TYPE,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASS,
+    RDFS_SUBPROPERTY,
+)
+from .terms import URI, is_uri
+from .triples import Triple
+
+
+def _immediate_entailments(graph: RDFGraph, new: Iterable[Triple]) -> Set[Triple]:
+    """Triples immediately entailed by *new* against the rest of *graph*.
+
+    Only weight-1 triples fire rules; entailed triples have weight 1.
+    """
+    derived: Set[Triple] = set()
+
+    def certain(triple: Triple) -> bool:
+        return graph.weight(*triple) == 1.0
+
+    for triple in new:
+        if not certain(triple):
+            continue
+        s, p, o = triple
+
+        if p == RDFS_SUBPROPERTY:
+            # rdfs5: transitivity of subproperty, in both join directions.
+            for wt in graph.triples(subject=o, predicate=RDFS_SUBPROPERTY):
+                if wt.weight == 1.0:
+                    derived.add(Triple(s, RDFS_SUBPROPERTY, wt.object))
+            if is_uri(o):
+                for wt in graph.triples(predicate=RDFS_SUBPROPERTY, obj=s):
+                    if wt.weight == 1.0:
+                        derived.add(Triple(wt.subject, RDFS_SUBPROPERTY, o))
+                # rdfs7 driven by a new subproperty statement: existing uses
+                # of property ``s`` also hold for ``o``.
+                for wt in graph.triples(predicate=s):
+                    if wt.weight == 1.0:
+                        derived.add(Triple(wt.subject, URI(o), wt.object))
+
+        elif p == RDFS_SUBCLASS:
+            # rdfs11: transitivity of subclass, in both join directions.
+            if is_uri(o):
+                for wt in graph.triples(subject=URI(o), predicate=RDFS_SUBCLASS):
+                    if wt.weight == 1.0:
+                        derived.add(Triple(s, RDFS_SUBCLASS, wt.object))
+            for wt in graph.triples(predicate=RDFS_SUBCLASS, obj=s):
+                if wt.weight == 1.0:
+                    derived.add(Triple(wt.subject, RDFS_SUBCLASS, o))
+            # rdfs9 driven by a new subclass statement.
+            for wt in graph.triples(predicate=RDF_TYPE, obj=s):
+                if wt.weight == 1.0:
+                    derived.add(Triple(wt.subject, RDF_TYPE, o))
+
+        elif p == RDF_TYPE:
+            # rdfs9 driven by a new type statement.
+            if is_uri(o):
+                for wt in graph.triples(subject=URI(o), predicate=RDFS_SUBCLASS):
+                    if wt.weight == 1.0:
+                        derived.add(Triple(s, RDF_TYPE, wt.object))
+
+        elif p == RDFS_DOMAIN:
+            # rdfs2 driven by a new domain statement.
+            for wt in graph.triples(predicate=s):
+                if wt.weight == 1.0:
+                    derived.add(Triple(wt.subject, RDF_TYPE, o))
+
+        elif p == RDFS_RANGE:
+            # rdfs3 driven by a new range statement.
+            for wt in graph.triples(predicate=s):
+                if wt.weight == 1.0 and is_uri(wt.object):
+                    derived.add(Triple(URI(wt.object), RDF_TYPE, o))
+
+        # Rules driven by a new *assertion* s p o for any property p.
+        if p not in (RDFS_SUBCLASS, RDFS_SUBPROPERTY, RDFS_DOMAIN, RDFS_RANGE):
+            # rdfs7: property generalization.
+            for wt in graph.triples(subject=p, predicate=RDFS_SUBPROPERTY):
+                if wt.weight == 1.0 and is_uri(wt.object):
+                    derived.add(Triple(s, URI(wt.object), o))
+            # rdfs2: domain typing.
+            for wt in graph.triples(subject=p, predicate=RDFS_DOMAIN):
+                if wt.weight == 1.0:
+                    derived.add(Triple(s, RDF_TYPE, wt.object))
+            # rdfs3: range typing.
+            for wt in graph.triples(subject=p, predicate=RDFS_RANGE):
+                if wt.weight == 1.0 and is_uri(o):
+                    derived.add(Triple(URI(o), RDF_TYPE, wt.object))
+
+    return derived
+
+
+def saturate(graph: RDFGraph) -> int:
+    """Saturate *graph* in place; return the number of triples added.
+
+    Repeatedly applies the immediate entailment rules until the unique
+    finite fixpoint is reached (the paper's closure).
+    """
+    frontier: List[Triple] = [wt.triple for wt in graph if wt.weight == 1.0]
+    added = 0
+    while frontier:
+        derived = _immediate_entailments(graph, frontier)
+        frontier = []
+        for triple in derived:
+            if graph.add(triple.subject, triple.predicate, triple.object, 1.0):
+                frontier.append(triple)
+                added += 1
+    return added
+
+
+def add_and_saturate(graph: RDFGraph, triples: Iterable[Triple]) -> int:
+    """Incrementally add weight-1 *triples* and re-saturate; return # added.
+
+    This is the incremental maintenance described in [10]: only the new
+    triples (and what they entail) are matched against the rules, the
+    already-saturated part of the graph is left untouched.
+    """
+    frontier: List[Triple] = []
+    added = 0
+    for triple in triples:
+        if graph.add(triple.subject, triple.predicate, triple.object, 1.0):
+            frontier.append(triple)
+            added += 1
+    while frontier:
+        derived = _immediate_entailments(graph, frontier)
+        frontier = []
+        for triple in derived:
+            if graph.add(triple.subject, triple.predicate, triple.object, 1.0):
+                frontier.append(triple)
+                added += 1
+    return added

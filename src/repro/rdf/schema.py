@@ -1,0 +1,71 @@
+"""RDF Schema view over a graph.
+
+Convenience accessors for the four RDFS constraints of Figure 2:
+subclass (``≺sc``), subproperty (``≺sp``), domain (``←↩d``) and range
+(``↪→r``).  On a *saturated* graph (see :mod:`repro.rdf.saturation`) the
+sub-class / sub-property accessors directly return the transitive closure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Set
+
+from .graph import RDFGraph
+from .namespaces import (
+    RDF_TYPE,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASS,
+    RDFS_SUBPROPERTY,
+)
+from .terms import Term, URI
+
+
+class SchemaView:
+    """Read-only schema accessors over an :class:`RDFGraph`."""
+
+    def __init__(self, graph: RDFGraph):
+        self._graph = graph
+
+    def subclasses(self, rdf_class: Term) -> Set[URI]:
+        """Classes ``b`` with ``b ≺sc rdf_class`` (closure if saturated)."""
+        return set(self._graph.subjects(RDFS_SUBCLASS, rdf_class))
+
+    def superclasses(self, rdf_class: URI) -> Set[Term]:
+        """Classes ``c`` with ``rdf_class ≺sc c``."""
+        return set(self._graph.objects(rdf_class, RDFS_SUBCLASS))
+
+    def subproperties(self, prop: Term) -> Set[URI]:
+        """Properties ``b`` with ``b ≺sp prop``."""
+        return set(self._graph.subjects(RDFS_SUBPROPERTY, prop))
+
+    def superproperties(self, prop: URI) -> Set[Term]:
+        """Properties ``p`` with ``prop ≺sp p``."""
+        return set(self._graph.objects(prop, RDFS_SUBPROPERTY))
+
+    def domain(self, prop: URI) -> Set[Term]:
+        """Domains declared for *prop*."""
+        return set(self._graph.objects(prop, RDFS_DOMAIN))
+
+    def range(self, prop: URI) -> Set[Term]:
+        """Ranges declared for *prop*."""
+        return set(self._graph.objects(prop, RDFS_RANGE))
+
+    def instances(self, rdf_class: Term) -> Set[URI]:
+        """Resources typed as *rdf_class*."""
+        return set(self._graph.subjects(RDF_TYPE, rdf_class))
+
+    def types(self, resource: URI) -> Set[Term]:
+        """Classes *resource* belongs to."""
+        return set(self._graph.objects(resource, RDF_TYPE))
+
+    def properties_specializing(self, prop: Term, include_self: bool = True) -> Iterator[URI]:
+        """Yield *prop* (optionally) and every property ``≺sp prop``.
+
+        Used to find all concrete social / comment / authorship relations:
+        e.g. every property specializing ``S3:social``.
+        """
+        if include_self and isinstance(prop, URI):
+            yield prop
+        for sub in self._graph.subjects(RDFS_SUBPROPERTY, prop):
+            yield sub

@@ -1,0 +1,58 @@
+"""RDF terms: URIs, literals and the keyword universe K.
+
+The paper (Section 2) assumes a set ``U`` of URIs, a disjoint set ``L`` of
+literals, and the keyword set ``K`` containing all URIs plus the stemmed
+version of all literals.  We model URIs and literals as two ``str``
+subclasses so that they hash and compare like plain strings (cheap to use as
+dictionary keys) while remaining distinguishable with ``isinstance``.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+
+class URI(str):
+    """A Uniform Resource Identifier (RFC 3986), member of the set ``U``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{str(self)}>"
+
+
+class Literal(str):
+    """An RDF literal (constant), member of the set ``L``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f'"{str(self)}"'
+
+
+#: Any RDF term that may appear as the object of a triple.
+Term = Union[URI, Literal]
+
+
+def is_uri(term: object) -> bool:
+    """Return ``True`` when *term* is a URI (and not a literal)."""
+    return isinstance(term, URI)
+
+
+def is_literal(term: object) -> bool:
+    """Return ``True`` when *term* is a literal."""
+    return isinstance(term, Literal)
+
+
+def coerce_term(value: object) -> Term:
+    """Coerce *value* into an RDF term.
+
+    URIs and literals pass through unchanged; any other string becomes a
+    :class:`Literal`.  This mirrors the common convention of RDF toolkits
+    where untyped strings denote constants.
+    """
+    if isinstance(value, (URI, Literal)):
+        return value
+    if isinstance(value, str):
+        return Literal(value)
+    raise TypeError(f"cannot coerce {value!r} into an RDF term")

@@ -1,0 +1,70 @@
+"""Weighted RDF triples.
+
+Section 2.1 of the paper introduces *weighted* RDF graphs: each edge is a
+triple ``(s, p, o)`` carrying a weight ``w in [0, 1]``; a triple without an
+explicit weight has weight 1.  Weight-1 triples are the only ones that take
+part in RDFS entailment.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from .terms import Literal, Term, URI, coerce_term, is_uri
+
+
+class Triple(NamedTuple):
+    """A plain (unweighted) RDF triple ``s p o``."""
+
+    subject: URI
+    predicate: URI
+    object: Term
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{self.subject} {self.predicate} {self.object}"
+
+
+class WeightedTriple(NamedTuple):
+    """A triple together with its weight ``w in [0, 1]``."""
+
+    subject: URI
+    predicate: URI
+    object: Term
+    weight: float
+
+    @property
+    def triple(self) -> Triple:
+        """The unweighted part of this statement."""
+        return Triple(self.subject, self.predicate, self.object)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{self.subject} {self.predicate} {self.object} ({self.weight})"
+
+
+def make_triple(subject: object, predicate: object, obj: object) -> Triple:
+    """Build a well-formed :class:`Triple`, validating per RDF [27].
+
+    A well-formed triple has a URI subject, a URI property, and an object
+    from ``K`` (URI or literal).
+    """
+    if not is_uri(subject):
+        if isinstance(subject, str) and not isinstance(subject, Literal):
+            subject = URI(subject)
+        else:
+            raise ValueError(f"triple subject must be a URI, got {subject!r}")
+    if not is_uri(predicate):
+        if isinstance(predicate, str) and not isinstance(predicate, Literal):
+            predicate = URI(predicate)
+        else:
+            raise ValueError(f"triple property must be a URI, got {predicate!r}")
+    return Triple(subject, predicate, coerce_term(obj))
+
+
+def make_weighted(
+    subject: object, predicate: object, obj: object, weight: float = 1.0
+) -> WeightedTriple:
+    """Build a well-formed :class:`WeightedTriple` with ``weight in [0, 1]``."""
+    if not 0.0 <= weight <= 1.0:
+        raise ValueError(f"triple weight must be in [0, 1], got {weight}")
+    triple = make_triple(subject, predicate, obj)
+    return WeightedTriple(triple.subject, triple.predicate, triple.object, weight)

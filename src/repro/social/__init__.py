@@ -1,0 +1,6 @@
+"""Social substrate: users, weighted relationships and tags."""
+
+from .network import SocialNetwork
+from .tags import Tag
+
+__all__ = ["SocialNetwork", "Tag"]

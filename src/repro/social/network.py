@@ -1,0 +1,84 @@
+"""The social network layer: users and weighted social relationships.
+
+Section 2.2: users are URIs of class ``S3:user``; any concrete relationship
+(friend, follower, co-worker...) is a property specializing ``S3:social``,
+carried by a weighted triple ``u1 S3:social u2 w`` — the higher the weight,
+the closer the users.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from ..rdf.terms import URI
+
+
+class SocialNetwork:
+    """A directed, weighted multigraph of user relationships.
+
+    This is a standalone convenience structure; inside an
+    :class:`~repro.core.instance.S3Instance` the same information lives as
+    RDF triples, and this class is used to stage edges before assembly.
+    """
+
+    def __init__(self) -> None:
+        self._users: Set[URI] = set()
+        self._edges: Dict[URI, Dict[URI, float]] = defaultdict(dict)
+        self._relations: Dict[Tuple[URI, URI], URI] = {}
+
+    def add_user(self, user: URI) -> None:
+        """Register *user* as a member of Ω."""
+        self._users.add(user)
+
+    def add_edge(
+        self,
+        source: URI,
+        target: URI,
+        weight: float = 1.0,
+        relation: Optional[URI] = None,
+    ) -> None:
+        """Add a social edge; *relation* optionally names the sub-property.
+
+        Re-adding an edge keeps the maximum weight (consistent with
+        :meth:`repro.rdf.graph.RDFGraph.add`).
+        """
+        if not 0.0 <= weight <= 1.0:
+            raise ValueError(f"social weight must be in [0, 1], got {weight}")
+        self._users.add(source)
+        self._users.add(target)
+        current = self._edges[source].get(target)
+        if current is None or weight > current:
+            self._edges[source][target] = weight
+        if relation is not None:
+            self._relations[(source, target)] = relation
+
+    @property
+    def users(self) -> Set[URI]:
+        """The user set Ω."""
+        return set(self._users)
+
+    def __len__(self) -> int:
+        return len(self._users)
+
+    def edge_count(self) -> int:
+        """Total number of directed social edges."""
+        return sum(len(targets) for targets in self._edges.values())
+
+    def weight(self, source: URI, target: URI) -> Optional[float]:
+        """The weight of the edge, or ``None`` when absent."""
+        return self._edges.get(source, {}).get(target)
+
+    def relation(self, source: URI, target: URI) -> Optional[URI]:
+        """The concrete relation property of the edge, if one was given."""
+        return self._relations.get((source, target))
+
+    def neighbors(self, user: URI) -> Dict[URI, float]:
+        """Outgoing edges of *user* as a target → weight mapping."""
+        return dict(self._edges.get(user, {}))
+
+    def edges(self) -> Iterator[Tuple[URI, URI, float]]:
+        """Iterate over ``(source, target, weight)`` triples."""
+        for source, targets in self._edges.items():
+            for target, weight in targets.items():
+                yield source, target, weight

@@ -1,0 +1,47 @@
+"""Tags: user annotations over documents, fragments or other tags.
+
+Section 2.4: a tag is a resource of class ``S3:relatedTo`` (or a subclass)
+with an ``S3:hasSubject`` (a document fragment or *another tag* — enabling
+higher-level annotations, requirement R4), an ``S3:hasAuthor``, and
+optionally an ``S3:hasKeyword``.  A tag without a keyword is an
+*endorsement* (like / retweet / +1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..rdf.terms import URI
+
+
+@dataclass(frozen=True)
+class Tag:
+    """One tag (annotation) resource.
+
+    Attributes
+    ----------
+    uri:
+        The tag resource URI.
+    subject:
+        The tagged fragment/document URI, or another tag's URI.
+    author:
+        The user who produced the tag.
+    keyword:
+        The tag keyword; ``None`` for endorsement tags.
+    tag_type:
+        A subclass of ``S3:relatedTo`` describing the kind of tag
+        (star rating, NLP annotation...); ``None`` means plain
+        ``S3:relatedTo``.
+    """
+
+    uri: URI
+    subject: URI
+    author: URI
+    keyword: Optional[str] = None
+    tag_type: Optional[URI] = None
+
+    @property
+    def is_endorsement(self) -> bool:
+        """True for keyword-less tags (like / retweet / +1)."""
+        return self.keyword is None

@@ -1,0 +1,5 @@
+"""Persistence: the SQLite store standing in for the paper's PostgreSQL."""
+
+from .sqlite_store import SQLiteStore
+
+__all__ = ["SQLiteStore"]

@@ -1,0 +1,253 @@
+"""SQLite-backed persistence for S3 instances.
+
+The paper stored *"some data tables in PostgreSQL 9.3, while others were
+built in memory"* (Section 5.1): the RDF graph and documents live in the
+SQL store, the proximity matrices in RAM.  PostgreSQL is not available
+offline, so the stdlib ``sqlite3`` engine plays its role — same split,
+same query patterns (indexed lookups by subject / predicate / object).
+
+The store persists the full instance — triples with weights, document
+trees with Dewey structure, tags — and can rebuild an equivalent
+:class:`~repro.core.instance.S3Instance`.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..core.instance import S3Instance
+from ..documents.document import Document
+from ..documents.node import DocumentNode
+from ..rdf.terms import Literal, URI
+from ..social.tags import Tag
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS triples (
+    subject   TEXT NOT NULL,
+    predicate TEXT NOT NULL,
+    object    TEXT NOT NULL,
+    object_is_uri INTEGER NOT NULL,
+    weight    REAL NOT NULL,
+    PRIMARY KEY (subject, predicate, object, object_is_uri)
+);
+CREATE INDEX IF NOT EXISTS triples_by_predicate ON triples (predicate);
+CREATE INDEX IF NOT EXISTS triples_by_object ON triples (object);
+
+CREATE TABLE IF NOT EXISTS users (uri TEXT PRIMARY KEY);
+
+CREATE TABLE IF NOT EXISTS document_nodes (
+    uri      TEXT PRIMARY KEY,
+    root     TEXT NOT NULL,
+    parent   TEXT,
+    name     TEXT NOT NULL,
+    ordinal  INTEGER NOT NULL,
+    keywords TEXT NOT NULL  -- JSON array of [kind, value] pairs
+);
+CREATE INDEX IF NOT EXISTS nodes_by_root ON document_nodes (root);
+
+CREATE TABLE IF NOT EXISTS tags (
+    uri      TEXT PRIMARY KEY,
+    subject  TEXT NOT NULL,
+    author   TEXT NOT NULL,
+    keyword  TEXT,
+    keyword_is_uri INTEGER,
+    tag_type TEXT
+);
+
+CREATE TABLE IF NOT EXISTS comment_edges (
+    comment TEXT NOT NULL,
+    target  TEXT NOT NULL,
+    PRIMARY KEY (comment, target)
+);
+
+CREATE TABLE IF NOT EXISTS posters (
+    document TEXT PRIMARY KEY,
+    user     TEXT NOT NULL
+);
+"""
+
+
+def _encode_keyword(keyword: object) -> List[object]:
+    kind = "uri" if isinstance(keyword, URI) else "lit"
+    return [kind, str(keyword)]
+
+
+def _decode_keyword(pair: List[object]) -> object:
+    kind, value = pair
+    return URI(value) if kind == "uri" else Literal(value)
+
+
+class SQLiteStore:
+    """Persist / load S3 instances in a SQLite database."""
+
+    def __init__(self, path: Union[str, Path] = ":memory:"):
+        self._connection = sqlite3.connect(str(path))
+        self._connection.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "SQLiteStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Saving
+    # ------------------------------------------------------------------
+    def save_instance(self, instance: S3Instance) -> None:
+        """Write the full instance (idempotent upsert)."""
+        cursor = self._connection.cursor()
+        cursor.executemany(
+            "INSERT OR REPLACE INTO triples VALUES (?, ?, ?, ?, ?)",
+            (
+                (
+                    str(wt.subject),
+                    str(wt.predicate),
+                    str(wt.object),
+                    1 if isinstance(wt.object, URI) else 0,
+                    wt.weight,
+                )
+                for wt in instance.graph
+            ),
+        )
+        cursor.executemany(
+            "INSERT OR REPLACE INTO users VALUES (?)",
+            ((str(u),) for u in instance.users),
+        )
+        node_rows = []
+        for root, document in instance.documents.items():
+            for node in document.nodes():
+                ordinal = node.dewey[-1] if node.dewey else 0
+                node_rows.append(
+                    (
+                        str(node.uri),
+                        str(root),
+                        str(node.parent.uri) if node.parent else None,
+                        node.name,
+                        ordinal,
+                        json.dumps([_encode_keyword(k) for k in node.keywords]),
+                    )
+                )
+        cursor.executemany(
+            "INSERT OR REPLACE INTO document_nodes VALUES (?, ?, ?, ?, ?, ?)",
+            node_rows,
+        )
+        cursor.executemany(
+            "INSERT OR REPLACE INTO tags VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                (
+                    str(t.uri),
+                    str(t.subject),
+                    str(t.author),
+                    str(t.keyword) if t.keyword is not None else None,
+                    (1 if isinstance(t.keyword, URI) else 0)
+                    if t.keyword is not None
+                    else None,
+                    str(t.tag_type) if t.tag_type else None,
+                )
+                for t in instance.tags.values()
+            ),
+        )
+        comment_rows = [
+            (str(comment), str(target))
+            for target, comments in instance._comments_of.items()
+            for comment in comments
+        ]
+        cursor.executemany(
+            "INSERT OR REPLACE INTO comment_edges VALUES (?, ?)", comment_rows
+        )
+        from ..rdf.namespaces import S3_POSTED_BY
+
+        poster_rows = [
+            (str(wt.subject), str(wt.object))
+            for wt in instance.graph.triples(predicate=S3_POSTED_BY)
+            if isinstance(wt.object, URI)
+        ]
+        cursor.executemany(
+            "INSERT OR REPLACE INTO posters VALUES (?, ?)", poster_rows
+        )
+        self._connection.commit()
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load_instance(self) -> S3Instance:
+        """Rebuild an equivalent (already saturated) instance."""
+        instance = S3Instance()
+        cursor = self._connection.cursor()
+
+        for (uri,) in cursor.execute("SELECT uri FROM users"):
+            instance.add_user(uri)
+
+        # Documents: rebuild trees from parent pointers, ordered by ordinal.
+        children: Dict[Optional[str], List[Tuple[int, str]]] = {}
+        rows: Dict[str, Tuple[str, Optional[str], str, int, str]] = {}
+        for uri, root, parent, name, ordinal, keywords in cursor.execute(
+            "SELECT uri, root, parent, name, ordinal, keywords FROM document_nodes"
+        ):
+            rows[uri] = (root, parent, name, ordinal, keywords)
+            children.setdefault(parent, []).append((ordinal, uri))
+
+        roots = [uri for uri, (_, parent, *_rest) in rows.items() if parent is None]
+        for root_uri in sorted(roots):
+            _, _, name, _, keywords = rows[root_uri]
+            root_node = DocumentNode(
+                URI(root_uri),
+                name,
+                [_decode_keyword(pair) for pair in json.loads(keywords)],
+            )
+            stack = [(root_uri, root_node)]
+            while stack:
+                parent_uri, parent_node = stack.pop()
+                for _, child_uri in sorted(children.get(parent_uri, [])):
+                    _, _, child_name, _, child_keywords = rows[child_uri]
+                    child_node = parent_node.add_child(
+                        URI(child_uri),
+                        child_name,
+                        [_decode_keyword(p) for p in json.loads(child_keywords)],
+                    )
+                    stack.append((child_uri, child_node))
+            instance.add_document(Document(root_node))
+
+        for document, user in cursor.execute("SELECT document, user FROM posters"):
+            instance.set_poster(document, user)
+        for comment, target in cursor.execute(
+            "SELECT comment, target FROM comment_edges"
+        ):
+            instance.add_comment_edge(comment, target)
+        for uri, subject, author, keyword, keyword_is_uri, tag_type in cursor.execute(
+            "SELECT uri, subject, author, keyword, keyword_is_uri, tag_type FROM tags"
+        ):
+            decoded = None
+            if keyword is not None:
+                decoded = URI(keyword) if keyword_is_uri else Literal(keyword)
+            instance.add_tag(
+                Tag(
+                    URI(uri),
+                    URI(subject),
+                    URI(author),
+                    keyword=decoded,
+                    tag_type=URI(tag_type) if tag_type else None,
+                )
+            )
+
+        # Raw triples last: anything not regenerated above (KB, social
+        # edges, saturation output) is restored verbatim with its weight.
+        for subject, predicate, obj, is_uri, weight in cursor.execute(
+            "SELECT subject, predicate, object, object_is_uri, weight FROM triples"
+        ):
+            term = URI(obj) if is_uri else Literal(obj)
+            instance.graph.add(URI(subject), URI(predicate), term, weight)
+
+        instance.saturate()
+        return instance
+
+    # ------------------------------------------------------------------
+    def triple_count(self) -> int:
+        cursor = self._connection.execute("SELECT COUNT(*) FROM triples")
+        return int(cursor.fetchone()[0])

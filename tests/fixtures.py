@@ -1,0 +1,109 @@
+"""Shared test fixtures: the paper's running examples as S3 instances."""
+
+from repro.core import S3Instance
+from repro.documents import Document, build_document
+from repro.rdf import RDFS_SUBCLASS, URI, Literal
+from repro.social import Tag
+
+
+def figure3_instance():
+    """The instance of Figure 3 (reconstructed).
+
+    Users u0..u3; document URI0 with fragments URI0.0, URI0.0.0, URI0.1 and
+    document URI1; tags a0 (on URI0.0.0, by u2, keyword k2) and a1 (on
+    URI0.0, by u3); URI1 comments on URI0.1.
+
+    The out-edges of the fragments of URI0 are arranged so that Example 2.3
+    holds exactly: ``out(u0) = {→URI0 (1), →u3 (0.3)}`` and
+    ``out(neigh(URI0))`` totals 4.
+    """
+    instance = S3Instance()
+    for user in ("u0", "u1", "u2", "u3"):
+        instance.add_user(user)
+    instance.add_social_edge("u0", "u3", 0.3)
+    instance.add_social_edge("u1", "u3", 0.5)
+    instance.add_social_edge("u3", "u1", 0.5)
+    instance.add_social_edge("u2", "u1", 0.7)
+
+    root = build_document("URI0", "doc")
+    mid = root.add_child(URI("URI0.0"), "section")
+    mid.add_child(URI("URI0.0.0"), "para", ["k0"])
+    root.add_child(URI("URI0.1"), "para", ["k1"])
+    instance.add_document(Document(root), posted_by="u0")
+
+    other = build_document("URI1", "doc", ["k2"])
+    instance.add_document(Document(other), posted_by="u1")
+    instance.add_comment_edge("URI1", "URI0.1")
+
+    instance.add_tag(Tag(URI("a0"), URI("URI0.0.0"), URI("u2"), keyword="k2"))
+    instance.add_tag(Tag(URI("a1"), URI("URI0.0"), URI("u3")))
+    instance.saturate()
+    return instance
+
+
+def figure1_instance():
+    """The motivating example of Figure 1.
+
+    * u1 friend of u0; u2, u3, u4 other users;
+    * d0 posted by u0, with fragments d0.3.2 (position (3, 2)) and d0.5.1
+      (position (5, 1)) among others;
+    * d1 posted by u2, replies to d0, mentions the entity kb:MS;
+    * d2 posted by u3, comments on d0.3.2, contains "degre";
+    * u4 tags d0.5.1 with "university";
+    * knowledge base: kb:MS ≺sc "degre" (an M.S. is a degree).
+    """
+    instance = S3Instance()
+    for user in ("u0", "u1", "u2", "u3", "u4"):
+        instance.add_user(user)
+    instance.add_social_edge("u1", "u0", 1.0, relation="hasFriend")
+    instance.add_social_edge("u0", "u1", 1.0, relation="hasFriend")
+
+    # d0: make positions line up with the paper's URIs (3rd and 5th child).
+    d0 = build_document("d0", "article", ["opinion"])
+    for i in range(1, 6):
+        section = d0.add_child(URI(f"d0.{i}"), "section")
+        if i == 3:
+            section.add_child(URI("d0.3.1"), "para")
+            section.add_child(URI("d0.3.2"), "para", ["debate"])
+        if i == 5:
+            section.add_child(URI("d0.5.1"), "para", ["campus"])
+    instance.add_document(Document(d0), posted_by="u0")
+
+    d1 = build_document("d1", "text", [URI("kb:MS"), "ualberta", "2012"])
+    instance.add_document(Document(d1), posted_by="u2")
+    instance.add_comment_edge("d1", "d0", relation="repliesTo")
+
+    d2 = build_document("d2", "text", ["degre", "give", "opportun"])
+    instance.add_document(Document(d2), posted_by="u3")
+    instance.add_comment_edge("d2", "d0.3.2")
+
+    instance.add_tag(Tag(URI("t:u4"), URI("d0.5.1"), URI("u4"), keyword="university"))
+
+    instance.add_knowledge([(URI("kb:MS"), RDFS_SUBCLASS, Literal("degre"))])
+    instance.saturate()
+    return instance
+
+
+def two_community_instance():
+    """Two user communities around two topical documents.
+
+    Used to check that social proximity drives ranking: the same keyword
+    appears in both documents, but each seeker should see their community's
+    document first.
+    """
+    instance = S3Instance()
+    for i in range(6):
+        instance.add_user(f"u{i}")
+    # Community A: u0-u1-u2, Community B: u3-u4-u5, weak bridge u2-u3.
+    for a, b in (("u0", "u1"), ("u1", "u0"), ("u1", "u2"), ("u2", "u1"),
+                 ("u3", "u4"), ("u4", "u3"), ("u4", "u5"), ("u5", "u4")):
+        instance.add_social_edge(a, b, 0.9)
+    instance.add_social_edge("u2", "u3", 0.1)
+    instance.add_social_edge("u3", "u2", 0.1)
+
+    doc_a = build_document("docA", "post", ["python", "databas"])
+    instance.add_document(Document(doc_a), posted_by="u1")
+    doc_b = build_document("docB", "post", ["python", "network"])
+    instance.add_document(Document(doc_b), posted_by="u4")
+    instance.saturate()
+    return instance

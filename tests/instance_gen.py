@@ -1,0 +1,83 @@
+"""Random S3 instance generator for property-based tests.
+
+Builds small but structurally rich instances: users with weighted social
+edges, documents with random trees, comments, keyword tags, endorsements
+and a small subclass ontology — every feature the search algorithm has to
+handle.  Deterministic given a :class:`random.Random`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.core import S3Instance
+from repro.documents import Document, build_document
+from repro.rdf import RDFS_SUBCLASS, URI, Literal
+from repro.social import Tag
+
+VOCABULARY = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"]
+ENTITIES = [URI("kb:e0"), URI("kb:e1"), URI("kb:e2")]
+
+
+def random_instance(rng: random.Random, n_users: int = 6, n_docs: int = 5) -> S3Instance:
+    """One random, saturated instance."""
+    instance = S3Instance()
+    users = [instance.add_user(f"u{i}") for i in range(n_users)]
+
+    # Social edges: sparse directed graph with random weights.
+    for source in users:
+        for target in users:
+            if source != target and rng.random() < 0.35:
+                instance.add_social_edge(source, target, round(rng.uniform(0.1, 1.0), 2))
+
+    # Small ontology: each entity specializes one literal keyword.
+    for entity in ENTITIES:
+        keyword = rng.choice(VOCABULARY)
+        instance.add_knowledge([(entity, RDFS_SUBCLASS, Literal(keyword))])
+
+    def random_keywords() -> List[str]:
+        kws: List[str] = rng.sample(VOCABULARY, rng.randint(0, 2))
+        if rng.random() < 0.3:
+            kws.append(rng.choice(ENTITIES))
+        return kws
+
+    documents: List[URI] = []
+    all_nodes: List[URI] = []
+    for d in range(n_docs):
+        root = build_document(f"d{d}", "doc", random_keywords())
+        nodes = [root]
+        for j in range(rng.randint(0, 4)):
+            parent = rng.choice(nodes)
+            child = parent.add_child(
+                URI(f"d{d}.n{j}"), "frag", random_keywords()
+            )
+            nodes.append(child)
+        document = Document(root)
+        instance.add_document(document, posted_by=rng.choice(users))
+        documents.append(document.uri)
+        all_nodes.extend(node.uri for node in nodes)
+
+        # Randomly comment on an earlier document's node.
+        if documents[:-1] and rng.random() < 0.6:
+            target_doc = rng.choice(documents[:-1])
+            target_nodes = list(instance.documents[target_doc].fragments())
+            instance.add_comment_edge(document.uri, rng.choice(sorted(target_nodes)))
+
+    # Tags: keyword tags, endorsements, tags on tags.
+    tag_uris: List[URI] = []
+    for t in range(rng.randint(0, 6)):
+        subject: URI
+        if tag_uris and rng.random() < 0.2:
+            subject = rng.choice(tag_uris)
+        else:
+            subject = rng.choice(all_nodes)
+        keyword = None
+        if rng.random() < 0.6:
+            keyword = rng.choice(VOCABULARY + ENTITIES)
+        tag = Tag(URI(f"t{t}"), subject, rng.choice(users), keyword=keyword)
+        instance.add_tag(tag)
+        tag_uris.append(tag.uri)
+
+    instance.saturate()
+    return instance

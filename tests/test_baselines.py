@@ -1,0 +1,156 @@
+"""Tests for the UIT model, the S3→UIT adapter and the TopkS baseline."""
+
+import pytest
+
+from repro.baselines import TopkSSearcher, UITDataset, uit_from_instance
+from repro.rdf import URI
+
+from .fixtures import figure1_instance, two_community_instance
+
+
+def _toy_uit():
+    """Small hand-built UIT dataset with two communities."""
+    dataset = UITDataset()
+    dataset.add_link("a", "b", 0.9)
+    dataset.add_link("b", "a", 0.9)
+    dataset.add_link("b", "c", 0.5)
+    dataset.add_link("c", "d", 0.8)
+    dataset.add_triple("b", "i1", "jazz")
+    dataset.add_triple("b", "i1", "jazz")  # multiplicity 2
+    dataset.add_triple("c", "i2", "jazz")
+    dataset.add_triple("d", "i3", "rock")
+    return dataset
+
+
+class TestUITDataset:
+    def test_link_weight_bounds(self):
+        dataset = UITDataset()
+        with pytest.raises(ValueError):
+            dataset.add_link("a", "b", 1.4)
+
+    def test_duplicate_link_keeps_max(self):
+        dataset = UITDataset()
+        dataset.add_link("a", "b", 0.2)
+        dataset.add_link("a", "b", 0.7)
+        dataset.add_link("a", "b", 0.4)
+        assert dataset.links_of("a")["b"] == 0.7
+
+    def test_triple_multiplicity(self):
+        dataset = _toy_uit()
+        assert dataset.taggers("i1", "jazz")["b"] == 2
+        assert dataset.tag_count("i1", "jazz") == 2
+        assert dataset.max_tag_count("jazz") == 2
+
+    def test_reachable_items(self):
+        dataset = _toy_uit()
+        assert dataset.reachable_items(["jazz"]) == {"i1", "i2"}
+        assert dataset.reachable_items(["rock", "jazz"]) == {"i1", "i2", "i3"}
+        assert dataset.reachable_items(["zzz"]) == set()
+
+
+class TestTopkS:
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            TopkSSearcher(_toy_uit(), alpha=1.5)
+
+    def test_social_proximity_shortest_path(self):
+        # prox(a, c) = 0.9 * 0.5 through the only path.
+        dataset = _toy_uit()
+        searcher = TopkSSearcher(dataset, alpha=1.0)
+        scores = searcher.exact_scores("a", ["jazz"])
+        # i1 tagged twice by b at prox 0.9; i2 tagged once by c at 0.45.
+        assert scores["i1"] == pytest.approx(2 * 0.9)
+        assert scores["i2"] == pytest.approx(0.45)
+
+    def test_content_only_alpha_zero(self):
+        dataset = _toy_uit()
+        searcher = TopkSSearcher(dataset, alpha=0.0)
+        scores = searcher.exact_scores("a", ["jazz"])
+        assert scores["i1"] == pytest.approx(1.0)  # 2/2
+        assert scores["i2"] == pytest.approx(0.5)  # 1/2
+
+    def test_search_matches_exact_scores(self):
+        dataset = _toy_uit()
+        for alpha in (0.0, 0.25, 0.5, 0.75, 1.0):
+            searcher = TopkSSearcher(dataset, alpha=alpha)
+            result = searcher.search("a", ["jazz", "rock"], k=3)
+            exact = searcher.exact_scores("a", ["jazz", "rock"])
+            expected = sorted(exact, key=lambda i: (-exact[i], i))[:3]
+            assert result.items == expected
+            for ranked in result.results:
+                assert ranked.lower == pytest.approx(exact[ranked.item])
+
+    def test_unknown_keyword_empty(self):
+        searcher = TopkSSearcher(_toy_uit())
+        result = searcher.search("a", ["zzz"], k=3)
+        assert result.items == []
+
+    def test_max_users_caps_exploration(self):
+        searcher = TopkSSearcher(_toy_uit(), alpha=1.0)
+        result = searcher.search("a", ["jazz"], k=2, max_users=1)
+        assert result.users_visited <= 1
+
+    def test_disconnected_seeker_scores_content_only(self):
+        dataset = _toy_uit()
+        dataset.add_user("loner")
+        searcher = TopkSSearcher(dataset, alpha=0.5)
+        scores = searcher.exact_scores("loner", ["jazz"])
+        # Social part contributes nothing except the seeker itself.
+        assert scores["i1"] == pytest.approx(0.5 * 1.0)
+
+    def test_search_on_larger_random_graph(self):
+        import random
+
+        rng = random.Random(3)
+        dataset = UITDataset()
+        users = [f"u{i}" for i in range(30)]
+        for u in users:
+            for v in rng.sample(users, 4):
+                if u != v:
+                    dataset.add_link(u, v, rng.uniform(0.2, 1.0))
+        for i in range(40):
+            for _ in range(rng.randint(1, 4)):
+                dataset.add_triple(
+                    rng.choice(users), f"i{i}", rng.choice(["x", "y", "z"])
+                )
+        for alpha in (0.25, 0.75):
+            searcher = TopkSSearcher(dataset, alpha=alpha)
+            for seeker in users[:5]:
+                result = searcher.search(seeker, ["x", "y"], k=5)
+                exact = searcher.exact_scores(seeker, ["x", "y"])
+                expected = sorted(exact, key=lambda i: (-exact[i], i))[:5]
+                got_scores = sorted((exact[i] for i in result.items), reverse=True)
+                want_scores = sorted((exact[i] for i in expected), reverse=True)
+                assert got_scores == pytest.approx(want_scores)
+
+
+class TestAdapter:
+    def test_items_are_components(self):
+        instance = figure1_instance()
+        dataset, doc_to_item = uit_from_instance(instance)
+        # d0, d1, d2 all belong to the same comment-connected component.
+        assert doc_to_item[URI("d0")] == doc_to_item[URI("d1")] == doc_to_item[URI("d2")]
+
+    def test_keywords_become_triples_with_poster(self):
+        instance = figure1_instance()
+        dataset, doc_to_item = uit_from_instance(instance)
+        item = doc_to_item[URI("d2")]
+        # d2 ("degre...") was posted by u3.
+        assert dataset.taggers(item, "degre").get("u3", 0) >= 1
+
+    def test_tag_keywords_become_triples_with_author(self):
+        instance = figure1_instance()
+        dataset, doc_to_item = uit_from_instance(instance)
+        item = doc_to_item[URI("d0.5.1")]
+        assert dataset.taggers(item, "university").get("u4", 0) == 1
+
+    def test_social_links_carry_weights(self):
+        instance = two_community_instance()
+        dataset, _ = uit_from_instance(instance)
+        assert dataset.links_of("u0")["u1"] == pytest.approx(0.9)
+        assert dataset.links_of("u2")["u3"] == pytest.approx(0.1)
+
+    def test_all_document_nodes_mapped(self):
+        instance = figure1_instance()
+        _, doc_to_item = uit_from_instance(instance)
+        assert set(instance.node_to_document) <= set(doc_to_item)

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def generated_db(tmp_path):
+    path = tmp_path / "tiny.db"
+    code = main(
+        ["generate", "--dataset", "twitter", "--out", str(path), "--scale", "0.1"]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_creates_database(self, generated_db, capsys):
+        assert generated_db.exists()
+
+    def test_prints_statistics(self, tmp_path, capsys):
+        main(
+            [
+                "generate",
+                "--dataset",
+                "vodkaster",
+                "--out",
+                str(tmp_path / "v.db"),
+                "--scale",
+                "0.1",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert "Users" in output and "Documents" in output
+
+    def test_rejects_unknown_dataset(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "--dataset", "nope", "--out", str(tmp_path / "x.db")])
+
+
+class TestSearch:
+    def test_search_round_trip(self, generated_db, capsys):
+        code = main(
+            [
+                "search",
+                "--db",
+                str(generated_db),
+                "--seeker",
+                "tw:u0",
+                "--keywords",
+                "w0",
+                "-k",
+                "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "terminated by" in output
+
+    def test_no_semantics_flag(self, generated_db, capsys):
+        code = main(
+            [
+                "search",
+                "--db",
+                str(generated_db),
+                "--seeker",
+                "tw:u0",
+                "--keywords",
+                "w0",
+                "--no-semantics",
+            ]
+        )
+        assert code == 0
+
+    def test_unknown_keyword_reports_empty(self, generated_db, capsys):
+        main(
+            [
+                "search",
+                "--db",
+                str(generated_db),
+                "--seeker",
+                "tw:u0",
+                "--keywords",
+                "zzznope",
+            ]
+        )
+        assert "no results" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compare_prints_measures(self, generated_db, capsys):
+        code = main(["compare", "--db", str(generated_db), "--queries", "4"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Semantic reachability" in output
+        assert "Intersection size" in output

@@ -1,0 +1,227 @@
+"""Tests for con(d, k): every rule of Section 3.2 on the Figure 1 example."""
+
+import pytest
+
+from repro.core import ComponentConnections, ComponentIndex, S3Instance
+from repro.documents import Document, build_document
+from repro.rdf import (
+    S3_COMMENTS_ON,
+    S3_CONTAINS,
+    S3_RELATED_TO,
+    URI,
+    Literal,
+)
+from repro.social import Tag
+
+from .fixtures import figure1_instance
+
+
+def _connections(instance, keyword, extension=None):
+    """ComponentConnections for the component holding d0 (Figure 1)."""
+    index = ComponentIndex(instance)
+    component = index.component_of(URI("d0"))
+    term = Literal(keyword) if not isinstance(keyword, URI) else keyword
+    extensions = {term: extension if extension is not None else {term}}
+    return ComponentConnections(instance, component, extensions), term
+
+
+class TestContainsRule:
+    def test_fragment_containment_connects_all_ancestors(self):
+        # "university"-like case: "debate" is in d0.3.2; d0, d0.3 and
+        # d0.3.2 itself all get a contains connection due to d0.3.2.
+        instance = figure1_instance()
+        connections, term = _connections(instance, "debate")
+        for ancestor, distance in (("d0", 2), ("d0.3", 1), ("d0.3.2", 0)):
+            resolved = connections.connections(URI(ancestor), term)
+            assert (S3_CONTAINS, URI("d0.3.2"), URI(ancestor), distance) in [
+                tuple(c) for c in resolved
+            ]
+
+    def test_contains_source_is_the_candidate_itself(self):
+        instance = figure1_instance()
+        connections, term = _connections(instance, "debate")
+        [conn] = connections.connections(URI("d0.3"), term)
+        assert conn.source == URI("d0.3")
+
+    def test_no_connection_for_absent_keyword(self):
+        instance = figure1_instance()
+        connections, term = _connections(instance, "nonexistent")
+        assert connections.connections(URI("d0"), term) == []
+
+    def test_extension_keyword_creates_connection(self):
+        # d1 contains kb:MS and kb:MS ≺sc "degre", so with the extension of
+        # "degre" the reply d1 is connected to the query keyword.
+        instance = figure1_instance()
+        index = ComponentIndex(instance)
+        component = index.component_of(URI("d1"))
+        term = Literal("degre")
+        connections = ComponentConnections(
+            instance, component, {term: {term, URI("kb:MS")}}
+        )
+        resolved = connections.connections(URI("d1"), term)
+        assert (S3_CONTAINS, URI("d1"), URI("d1"), 0) in [tuple(c) for c in resolved]
+
+
+class TestTagRule:
+    def test_keyword_tag_connects_ancestors(self):
+        # u4's tag on d0.5.1 creates (relatedTo, d0.5.1, u4) in
+        # con(d0, "university") — the paper's example verbatim.
+        instance = figure1_instance()
+        connections, term = _connections(instance, "university")
+        resolved = connections.connections(URI("d0"), term)
+        assert (S3_RELATED_TO, URI("d0.5.1"), URI("u4"), 2) in [
+            tuple(c) for c in resolved
+        ]
+
+    def test_tag_on_tag_propagates_source(self):
+        # A higher-level tag a2 on a: a2's author becomes a source of the
+        # underlying fragment's connection.
+        instance = figure1_instance()
+        instance.add_tag(Tag(URI("t:meta"), URI("t:u4"), URI("u2"), keyword="university"))
+        instance.saturate()
+        connections, term = _connections(instance, "university")
+        sources = {c.source for c in connections.connections(URI("d0"), term)}
+        assert URI("u2") in sources
+        assert URI("u4") in sources
+
+
+class TestEndorsementRule:
+    def test_endorsement_inherits_connections(self):
+        # u5 endorses d0 (keyword-less tag): the endorsement is related to
+        # "university" through d0's connections, and u5 becomes a source of
+        # con(d0, university).
+        instance = figure1_instance()
+        instance.add_user("u5")
+        instance.add_tag(Tag(URI("t:like"), URI("d0"), URI("u5")))
+        instance.saturate()
+        connections, term = _connections(instance, "university")
+        sources = {c.source for c in connections.connections(URI("d0"), term)}
+        assert URI("u5") in sources
+
+    def test_endorsement_of_unrelated_fragment_adds_nothing(self):
+        # Endorsing a fragment with no connection to the keyword does not
+        # create one.
+        instance = figure1_instance()
+        instance.add_user("u5")
+        instance.add_tag(Tag(URI("t:like"), URI("d0.1"), URI("u5")))
+        instance.saturate()
+        connections, term = _connections(instance, "university")
+        sources = {c.source for c in connections.connections(URI("d0"), term)}
+        assert URI("u5") not in sources
+
+    def test_endorsement_of_endorsement(self):
+        instance = figure1_instance()
+        instance.add_user("u5")
+        instance.add_user("u6")
+        instance.add_tag(Tag(URI("t:like"), URI("d0"), URI("u5")))
+        instance.add_tag(Tag(URI("t:like2"), URI("t:like"), URI("u6")))
+        instance.saturate()
+        connections, term = _connections(instance, "university")
+        sources = {c.source for c in connections.connections(URI("d0"), term)}
+        assert {URI("u5"), URI("u6")} <= sources
+
+
+class TestCommentRule:
+    def test_comment_connects_commented_ancestors(self):
+        # d2 (contains "degre") comments on d0.3.2, therefore d0 is related
+        # to "degre" through (commentsOn, d0.3.2, d2) — the paper's example.
+        instance = figure1_instance()
+        connections, term = _connections(instance, "degre")
+        resolved = connections.connections(URI("d0"), term)
+        assert (S3_COMMENTS_ON, URI("d0.3.2"), URI("d2"), 2) in [
+            tuple(c) for c in resolved
+        ]
+
+    def test_comment_source_carries_over(self):
+        # A tag on the comment d2: its author flows to d0 as a commentsOn
+        # source ("the connection source carries over").
+        instance = figure1_instance()
+        instance.add_tag(Tag(URI("t:ond2"), URI("d2"), URI("u1"), keyword="degre"))
+        instance.saturate()
+        connections, term = _connections(instance, "degre")
+        sources = {c.source for c in connections.connections(URI("d0"), term)}
+        assert URI("u1") in sources
+        assert URI("d2") in sources
+
+    def test_nested_comments_propagate(self):
+        # d3 comments on d2, d2 comments on d0.3.2: d3's keyword reaches d0.
+        instance = figure1_instance()
+        d3 = Document(build_document("d3", "text", ["nested"]))
+        instance.add_document(d3, posted_by="u4")
+        instance.add_comment_edge("d3", "d2")
+        instance.saturate()
+        connections, term = _connections(instance, "nested")
+        sources = {c.source for c in connections.connections(URI("d0"), term)}
+        assert URI("d3") in sources
+
+    def test_comment_does_not_leak_downward(self):
+        # The comment connects ancestors of d0.3.2, not unrelated siblings.
+        instance = figure1_instance()
+        connections, term = _connections(instance, "degre")
+        assert connections.connections(URI("d0.5.1"), term) == []
+        assert connections.connections(URI("d0.1"), term) == []
+
+
+class TestCandidateExtraction:
+    def test_candidates_require_all_keywords(self):
+        instance = figure1_instance()
+        index = ComponentIndex(instance)
+        component = index.component_of(URI("d0"))
+        terms = {Literal("debate"): {Literal("debate")},
+                 Literal("campus"): {Literal("campus")}}
+        connections = ComponentConnections(instance, component, terms)
+        candidates = set(connections.candidate_documents())
+        # Only d0 covers both "debate" (in d0.3.2) and "campus" (in d0.5.1).
+        assert URI("d0") in candidates
+        assert URI("d0.3.2") not in candidates
+        assert URI("d0.5.1") not in candidates
+
+    def test_single_keyword_candidates_are_ancestors(self):
+        instance = figure1_instance()
+        connections, term = _connections(instance, "debate")
+        candidates = set(connections.candidate_documents())
+        assert {URI("d0"), URI("d0.3"), URI("d0.3.2")} <= candidates
+
+    def test_all_connections_covers_every_keyword(self):
+        instance = figure1_instance()
+        index = ComponentIndex(instance)
+        component = index.component_of(URI("d0"))
+        terms = {Literal("debate"): {Literal("debate")},
+                 Literal("campus"): {Literal("campus")}}
+        connections = ComponentConnections(instance, component, terms)
+        per_keyword = connections.all_connections(URI("d0"))
+        assert set(per_keyword) == set(terms)
+        assert all(per_keyword.values())
+
+
+class TestComponentIndex:
+    def test_comment_chain_merges_components(self):
+        instance = figure1_instance()
+        index = ComponentIndex(instance)
+        c_d0 = index.component_of(URI("d0"))
+        assert index.component_of(URI("d1")) is c_d0
+        assert index.component_of(URI("d2")) is c_d0
+        assert index.component_of(URI("t:u4")) is c_d0
+
+    def test_unrelated_documents_split(self):
+        instance = figure1_instance()
+        other = Document(build_document("lonely", "doc", ["alone"]))
+        instance.add_document(other, posted_by="u4")
+        instance.saturate()
+        index = ComponentIndex(instance)
+        assert index.component_of(URI("lonely")) is not index.component_of(URI("d0"))
+
+    def test_component_keywords(self):
+        instance = figure1_instance()
+        index = ComponentIndex(instance)
+        component = index.component_of(URI("d0"))
+        assert Literal("degre") in component.keywords  # from d2
+        assert Literal("university") in component.keywords  # tag keyword
+        assert URI("kb:MS") in component.keywords  # from d1
+
+    def test_matches_requires_every_extension(self):
+        instance = figure1_instance()
+        index = ComponentIndex(instance)
+        component = index.component_of(URI("d0"))
+        assert component.matches([{Literal("degre")}, {Literal("university")}])
+        assert not component.matches([{Literal("degre")}, {Literal("zzz")}])

@@ -1,0 +1,189 @@
+"""Tests for the I1/I2/I3 generators and instance statistics."""
+
+import random
+
+import pytest
+
+from repro.core import S3kSearch, keyword_extension
+from repro.datasets import (
+    TextModel,
+    TwitterConfig,
+    VodkasterConfig,
+    YelpConfig,
+    build_ontology,
+    build_twitter_instance,
+    build_vodkaster_instance,
+    build_yelp_instance,
+    compute_stats,
+    enrich_keywords,
+)
+from repro.rdf import RDFS_SUBPROPERTY, S3_SOCIAL, Literal, Triple, URI
+
+SMALL_TW = TwitterConfig(n_users=60, n_statuses=150, seed=5)
+SMALL_VDK = VodkasterConfig(n_users=40, n_movies=10, n_comments=60, seed=5)
+SMALL_YELP = YelpConfig(n_users=50, n_businesses=10, n_reviews=80, seed=5)
+
+
+@pytest.fixture(scope="module")
+def twitter():
+    return build_twitter_instance(SMALL_TW)
+
+
+@pytest.fixture(scope="module")
+def vodkaster():
+    return build_vodkaster_instance(SMALL_VDK)
+
+
+@pytest.fixture(scope="module")
+def yelp():
+    return build_yelp_instance(SMALL_YELP)
+
+
+class TestTextModel:
+    def test_zipf_skew(self):
+        rng = random.Random(0)
+        model = TextModel.build(rng, 100)
+        words = model.words(rng, 5000)
+        counts = {w: words.count(w) for w in set(words)}
+        assert counts.get("w0", 0) > counts.get("w50", 0)
+
+    def test_distinct_words(self):
+        rng = random.Random(0)
+        model = TextModel.build(rng, 50)
+        distinct = model.distinct_words(rng, 10)
+        assert len(distinct) == len(set(distinct)) <= 10
+
+
+class TestOntology:
+    def test_taxonomy_links_to_topic_literal(self):
+        rng = random.Random(1)
+        ontology = build_ontology(rng, ["movies"], classes_per_topic=3)
+        assert any(
+            p == "rdfs:subClassOf" and o == "movies" for _, p, o in ontology.triples
+        )
+
+    def test_enrichment_replaces_with_probability_one(self):
+        rng = random.Random(1)
+        ontology = build_ontology(rng, ["movies"])
+        enriched = enrich_keywords(["movies", "other"], ontology, rng, probability=1.0)
+        assert isinstance(enriched[0], URI)
+        assert enriched[1] == "other"
+
+    def test_enrichment_probability_zero_is_identity(self):
+        rng = random.Random(1)
+        ontology = build_ontology(rng, ["movies"])
+        assert enrich_keywords(["movies"], ontology, rng, probability=0.0) == ["movies"]
+
+
+class TestTwitterGenerator:
+    def test_deterministic(self):
+        a = build_twitter_instance(SMALL_TW)
+        b = build_twitter_instance(SMALL_TW)
+        assert len(a.instance.graph) == len(b.instance.graph)
+        assert a.n_retweets == b.n_retweets
+
+    def test_retweet_ratio_shape(self, twitter):
+        # ~85% of statuses after the first are retweets (tags).
+        ratio = twitter.n_retweets / twitter.n_tweets
+        assert 0.7 <= ratio <= 0.95
+
+    def test_tweets_have_three_part_structure(self, twitter):
+        instance = twitter.instance
+        root = next(iter(instance.documents.values())).root
+        assert [child.name for child in root.children] == ["text", "date", "geo"]
+
+    def test_similarity_edges_above_threshold(self, twitter):
+        instance = twitter.instance
+        weights = [
+            wt.weight for wt in instance.graph.triples(predicate=S3_SOCIAL)
+        ]
+        assert weights, "expected some similarity edges"
+        assert all(w > SMALL_TW.similarity_threshold for w in weights)
+
+    def test_replies_become_comments(self, twitter):
+        assert twitter.n_replies >= 1
+        assert any(twitter.instance.comments_on(node) for node in
+                   twitter.instance.node_to_document)
+
+    def test_entity_extension_present(self, twitter):
+        # Anchored words must have non-trivial extensions.
+        instance = twitter.instance
+        extended = [
+            w for w in ("w0", "w1", "w2")
+            if len(keyword_extension(instance, Literal(w))) > 1
+        ]
+        assert extended
+
+    def test_searchable(self, twitter):
+        engine = S3kSearch(twitter.instance)
+        seeker = sorted(twitter.instance.users)[0]
+        result = engine.search(seeker, ["w0"], k=3)
+        assert result.terminated_by == "threshold"
+
+
+class TestVodkasterGenerator:
+    def test_follow_edges_are_subproperty(self, vodkaster):
+        instance = vodkaster.instance
+        assert (
+            Triple(URI("vdk:follow"), RDFS_SUBPROPERTY, S3_SOCIAL) in instance.graph
+        )
+
+    def test_comment_chains_to_first_comment(self, vodkaster):
+        instance = vodkaster.instance
+        # every movie's later comments point at the first one
+        commented = [n for n in instance.node_to_document if instance.comments_on(n)]
+        assert len(commented) <= vodkaster.n_movies
+        total_comments = sum(len(instance.comments_on(n)) for n in commented)
+        assert total_comments == vodkaster.n_comments - vodkaster.n_movies
+
+    def test_sentences_are_fragments(self, vodkaster):
+        document = next(iter(vodkaster.instance.documents.values()))
+        assert all(child.name == "sentence" for child in document.root.children)
+
+    def test_no_knowledge_base(self, vodkaster):
+        # I2 is not matched against a KB: extensions stay trivial.
+        instance = vodkaster.instance
+        for word in ("fr0", "fr1", "fr5"):
+            assert keyword_extension(instance, Literal(word)) == {Literal(word)}
+
+
+class TestYelpGenerator:
+    def test_friend_edges_weight_one(self, yelp):
+        instance = yelp.instance
+        weights = {
+            wt.weight for wt in instance.graph.triples(predicate=URI("yelp:friend"))
+        }
+        assert weights == {1.0}
+
+    def test_reviews_chain_to_first(self, yelp):
+        instance = yelp.instance
+        total = sum(len(instance.comments_on(n)) for n in instance.node_to_document)
+        assert total == yelp.n_reviews - yelp.n_businesses
+
+    def test_enriched_with_entities(self, yelp):
+        instance = yelp.instance
+        entity_mentions = [
+            wt
+            for wt in instance.graph.triples(predicate=URI("S3:contains"))
+            if isinstance(wt.object, URI) and str(wt.object).startswith("kb:e")
+        ]
+        assert entity_mentions
+
+
+class TestStats:
+    def test_rows_consistent(self, twitter):
+        stats = compute_stats(twitter.instance)
+        rows = stats.rows()
+        assert rows["Users"] == SMALL_TW.n_users
+        assert rows["Documents"] == twitter.n_documents
+        assert stats.fragments_non_root == sum(
+            len(d) - 1 for d in twitter.instance.documents.values()
+        )
+        assert stats.tags == len(twitter.instance.tags)
+
+    def test_stats_on_empty_instance(self):
+        from repro.core import S3Instance
+
+        stats = compute_stats(S3Instance())
+        assert stats.users == 0
+        assert stats.avg_social_degree == 0.0

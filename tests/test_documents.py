@@ -1,0 +1,201 @@
+"""Tests for the document substrate: trees, Dewey positions, parsers, text."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.documents import (
+    Document,
+    DocumentNode,
+    build_document,
+    extract_keywords,
+    parse_json,
+    parse_text,
+    parse_xml,
+    porter_stem,
+    tokenize,
+)
+from repro.rdf import URI
+
+
+def _sample_document():
+    """d0 with fragments d0.3.2-style layout (smaller, same shape)."""
+    root = build_document("d0", "article", ["intro"])
+    s1 = root.add_child(URI("d0.1"), "section", ["first"])
+    s2 = root.add_child(URI("d0.2"), "section")
+    s2p1 = s2.add_child(URI("d0.2.1"), "para", ["university"])
+    s2p2 = s2.add_child(URI("d0.2.2"), "para", ["degree"])
+    return Document(root), root, s1, s2, s2p1, s2p2
+
+
+class TestText:
+    def test_tokenize_lowercases(self):
+        assert tokenize("Hello World") == ["hello", "world"]
+
+    def test_tokenize_keeps_hashtags_and_mentions(self):
+        assert "#edbt" in tokenize("great talk #EDBT")
+        assert "@alice" in tokenize("cc @alice")
+
+    def test_stemming_graduation_to_graduate(self):
+        # The paper's own example: stemming replaces "graduation" with
+        # "graduate" (modulo the Porter convention of a trailing stem form).
+        assert porter_stem("graduation") == porter_stem("graduate")
+
+    def test_stemming_plurals(self):
+        assert porter_stem("universities") == porter_stem("university")
+        assert porter_stem("degrees") == porter_stem("degree")
+
+    def test_stemming_ing_forms(self):
+        assert porter_stem("running") == porter_stem("runs")
+
+    def test_short_words_unchanged(self):
+        assert porter_stem("ms") == "ms"
+
+    def test_extract_keywords_removes_stop_words(self):
+        keywords = extract_keywords("the university of the north")
+        assert "the" not in keywords
+        assert "of" not in keywords
+
+    def test_extract_keywords_stems(self):
+        assert porter_stem("degree") in extract_keywords("Degrees matter")
+
+    def test_extract_keywords_keeps_years(self):
+        assert "2012" in extract_keywords("When I got my M.S. in 2012")
+
+    @given(st.text(max_size=60))
+    def test_extract_keywords_total(self, text):
+        # The pipeline never crashes and never returns stop words.
+        for keyword in extract_keywords(text):
+            assert keyword
+            assert keyword == keyword.lower()
+
+
+class TestNode:
+    def test_root_has_empty_dewey(self):
+        root = build_document("d", "doc")
+        assert root.dewey == ()
+        assert root.is_root
+        assert root.depth == 0
+
+    def test_children_get_one_based_dewey(self):
+        root = build_document("d", "doc")
+        c1 = root.add_child(URI("d.1"), "sec")
+        c2 = root.add_child(URI("d.2"), "sec")
+        g = c2.add_child(URI("d.2.1"), "para")
+        assert c1.dewey == (1,)
+        assert c2.dewey == (2,)
+        assert g.dewey == (2, 1)
+        assert g.depth == 2
+
+    def test_iter_subtree_document_order(self):
+        _, root, s1, s2, s2p1, s2p2 = _sample_document()
+        order = [n.uri for n in root.iter_subtree()]
+        assert order == [root.uri, s1.uri, s2.uri, s2p1.uri, s2p2.uri]
+
+    def test_ancestors_nearest_first(self):
+        _, root, _, s2, s2p1, _ = _sample_document()
+        assert [a.uri for a in s2p1.ancestors()] == [s2.uri, root.uri]
+
+
+class TestDocument:
+    def test_requires_root_node(self):
+        root = build_document("d", "doc")
+        child = root.add_child(URI("d.1"), "sec")
+        with pytest.raises(ValueError):
+            Document(child)
+
+    def test_rejects_duplicate_uris(self):
+        root = build_document("d", "doc")
+        root.add_child(URI("dup"), "a")
+        root.add_child(URI("dup"), "b")
+        with pytest.raises(ValueError):
+            Document(root)
+
+    def test_fragments_of_document(self):
+        doc, root, s1, s2, s2p1, s2p2 = _sample_document()
+        assert doc.fragments() == {root.uri, s1.uri, s2.uri, s2p1.uri, s2p2.uri}
+
+    def test_fragments_of_inner_node(self):
+        doc, _, _, s2, s2p1, s2p2 = _sample_document()
+        assert doc.fragments(s2.uri) == {s2.uri, s2p1.uri, s2p2.uri}
+
+    def test_pos_matches_paper_example(self):
+        # pos(d0.3.2, d0) may be (3, 2): the Dewey path of the fragment.
+        doc, root, _, _, s2p1, _ = _sample_document()
+        assert doc.pos(root.uri, s2p1.uri) == (2, 1)
+        assert doc.structural_distance(root.uri, s2p1.uri) == 2
+
+    def test_pos_of_self_is_empty(self):
+        doc, root, *_ = _sample_document()
+        assert doc.pos(root.uri, root.uri) == ()
+
+    def test_pos_rejects_non_descendant(self):
+        doc, _, s1, s2, *_ = _sample_document()
+        with pytest.raises(ValueError):
+            doc.pos(s1.uri, s2.uri)
+
+    def test_ancestors_or_self(self):
+        doc, root, _, s2, s2p1, _ = _sample_document()
+        assert list(doc.ancestors_or_self(s2p1.uri)) == [s2p1.uri, s2.uri, root.uri]
+
+    def test_vertical_neighbors_exclude_siblings(self):
+        # Figure 3: URI0 and URI0.0.0 are vertical neighbors; URI0.0.0 and
+        # URI0.1 are not.
+        doc, root, s1, s2, s2p1, s2p2 = _sample_document()
+        neighbors = doc.vertical_neighbors(s2p1.uri)
+        assert s2.uri in neighbors and root.uri in neighbors
+        assert s2p2.uri not in neighbors  # sibling
+        assert s1.uri not in neighbors  # uncle
+        assert s2p1.uri not in neighbors  # not self
+
+    def test_vertical_neighbors_of_root_are_all_fragments(self):
+        doc, root, s1, s2, s2p1, s2p2 = _sample_document()
+        assert doc.vertical_neighbors(root.uri) == {s1.uri, s2.uri, s2p1.uri, s2p2.uri}
+
+    def test_keywords_union(self):
+        doc, *_ = _sample_document()
+        assert {"intro", "first", "university", "degree"} <= doc.keywords()
+
+
+class TestParsers:
+    def test_parse_xml_structure(self):
+        doc = parse_xml("d1", "<tweet><text>got my degree</text><date>2012</date></tweet>")
+        assert len(doc) == 3
+        root = doc.node(URI("d1"))
+        assert root.name == "tweet"
+        assert [c.name for c in root.children] == ["text", "date"]
+
+    def test_parse_xml_content_is_stemmed(self):
+        doc = parse_xml("d1", "<t><text>universities</text></t>")
+        text_node = doc.node(URI("d1.1"))
+        assert porter_stem("university") in text_node.keywords
+
+    def test_parse_xml_uri_scheme(self):
+        doc = parse_xml("d0", "<a><b/><c><d/></c></a>")
+        assert URI("d0.2.1") in doc
+        assert doc.pos(URI("d0"), URI("d0.2.1")) == (2, 1)
+
+    def test_parse_json_objects_and_arrays(self):
+        doc = parse_json("j1", '{"title": "great degree", "tags": ["a", "b"]}')
+        root = doc.node(URI("j1"))
+        assert [c.name for c in root.children] == ["title", "tags"]
+        tags_node = root.children[1]
+        assert [c.name for c in tags_node.children] == ["item", "item"]
+
+    def test_parse_json_scalar_content(self):
+        doc = parse_json("j1", '{"title": "universities"}')
+        title = doc.node(URI("j1.1"))
+        assert porter_stem("university") in title.keywords
+
+    def test_parse_text_single_node(self):
+        doc = parse_text("t1", "a degree gives opportunities")
+        assert len(doc) == 1
+        assert porter_stem("opportunity") in doc.node(URI("t1")).keywords
+
+    def test_parse_text_sentence_fragments(self):
+        # The Vodkaster construction: each stemmed sentence is a fragment.
+        doc = parse_text(
+            "c1", "Great movie. Watch it now!", sentence_fragments=True
+        )
+        root = doc.node(URI("c1"))
+        assert len(root.children) == 2
+        assert all(c.name == "sentence" for c in root.children)

@@ -1,0 +1,186 @@
+"""Tests for S3 instance assembly: derived triples, network edges."""
+
+import pytest
+
+from repro.core import S3Instance
+from repro.documents import Document, build_document
+from repro.rdf import (
+    RDF_TYPE,
+    RDFS_SUBPROPERTY,
+    S3_COMMENTS_ON,
+    S3_CONTAINS,
+    S3_DOC,
+    S3_HAS_AUTHOR,
+    S3_HAS_KEYWORD,
+    S3_HAS_SUBJECT,
+    S3_NODE_NAME,
+    S3_PART_OF,
+    S3_POSTED_BY,
+    S3_RELATED_TO,
+    S3_SOCIAL,
+    S3_USER,
+    Triple,
+    URI,
+    Literal,
+    inverse_property,
+)
+from repro.social import Tag
+
+from .fixtures import figure1_instance, figure3_instance
+
+
+class TestUserTriples:
+    def test_user_typed(self):
+        instance = S3Instance()
+        instance.add_user("u:a")
+        assert Triple(URI("u:a"), RDF_TYPE, S3_USER) in instance.graph
+
+    def test_social_edge_weight(self):
+        instance = S3Instance()
+        instance.add_social_edge("u:a", "u:b", 0.4)
+        assert instance.graph.weight(URI("u:a"), S3_SOCIAL, URI("u:b")) == 0.4
+
+    def test_social_subproperty_declared(self):
+        instance = S3Instance()
+        instance.add_social_edge("u:a", "u:b", 1.0, relation="vdk:follow")
+        assert Triple(URI("vdk:follow"), RDFS_SUBPROPERTY, S3_SOCIAL) in instance.graph
+        assert instance.graph.weight(URI("u:a"), URI("vdk:follow"), URI("u:b")) == 1.0
+        assert instance.graph.weight(URI("u:a"), S3_SOCIAL, URI("u:b")) == 1.0
+
+    def test_social_edge_rejects_bad_weight(self):
+        instance = S3Instance()
+        with pytest.raises(ValueError):
+            instance.add_social_edge("a", "b", 1.2)
+
+
+class TestDocumentTriples:
+    def test_example_2_1_triples(self):
+        # d0.3.2 partOf d0.3, d0.3 partOf d0 (paper Example 2.1).
+        instance = figure1_instance()
+        graph = instance.graph
+        assert Triple(URI("d0.3.2"), S3_PART_OF, URI("d0.3")) in graph
+        assert Triple(URI("d0.3"), S3_PART_OF, URI("d0")) in graph
+        assert Triple(URI("d1"), S3_CONTAINS, URI("kb:MS")) in graph
+        assert Triple(URI("d1"), S3_NODE_NAME, Literal("text")) in graph
+
+    def test_every_node_typed_doc(self):
+        instance = figure1_instance()
+        for node in ("d0", "d0.3", "d0.3.2", "d0.5.1", "d1", "d2"):
+            assert Triple(URI(node), RDF_TYPE, S3_DOC) in instance.graph
+
+    def test_posted_by_and_inverse(self):
+        instance = figure1_instance()
+        assert Triple(URI("d0"), S3_POSTED_BY, URI("u0")) in instance.graph
+        assert (
+            Triple(URI("u0"), inverse_property(S3_POSTED_BY), URI("d0"))
+            in instance.graph
+        )
+
+    def test_comment_edge_example_2_2(self):
+        # d2 postedBy u3, d2 commentsOn d0.3.2.
+        instance = figure1_instance()
+        assert Triple(URI("d2"), S3_POSTED_BY, URI("u3")) in instance.graph
+        assert Triple(URI("d2"), S3_COMMENTS_ON, URI("d0.3.2")) in instance.graph
+
+    def test_comment_subrelation_saturates(self):
+        # repliesTo ≺sp commentsOn: the generalized triple holds.
+        instance = figure1_instance()
+        assert Triple(URI("d1"), URI("repliesTo"), URI("d0")) in instance.graph
+        assert Triple(URI("d1"), S3_COMMENTS_ON, URI("d0")) in instance.graph
+
+    def test_duplicate_document_rejected(self):
+        instance = S3Instance()
+        doc = Document(build_document("d", "doc"))
+        instance.add_document(doc)
+        with pytest.raises(ValueError):
+            instance.add_document(Document(build_document("d", "doc")))
+
+    def test_node_to_document_mapping(self):
+        instance = figure1_instance()
+        assert instance.node_to_document[URI("d0.3.2")] == URI("d0")
+        assert instance.document_of(URI("d0.5.1")).uri == URI("d0")
+        assert instance.document_of(URI("nope")) is None
+
+
+class TestTagTriples:
+    def test_tag_triples_match_paper(self):
+        # a type relatedTo, a hasSubject d0.5.1, a hasKeyword "university",
+        # a hasAuthor u4 (Section 2.4).
+        instance = figure1_instance()
+        graph = instance.graph
+        tag = URI("t:u4")
+        assert Triple(tag, RDF_TYPE, S3_RELATED_TO) in graph
+        assert Triple(tag, S3_HAS_SUBJECT, URI("d0.5.1")) in graph
+        assert Triple(tag, S3_HAS_KEYWORD, Literal("university")) in graph
+        assert Triple(tag, S3_HAS_AUTHOR, URI("u4")) in graph
+
+    def test_tag_type_subclass(self):
+        instance = S3Instance()
+        instance.add_document(Document(build_document("d", "doc")))
+        instance.add_tag(
+            Tag(URI("a2"), URI("d"), URI("u"), keyword="x", tag_type=URI("NLP:recognize"))
+        )
+        instance.saturate()
+        assert Triple(URI("a2"), RDF_TYPE, URI("NLP:recognize")) in instance.graph
+        assert Triple(URI("a2"), RDF_TYPE, S3_RELATED_TO) in instance.graph
+
+    def test_endorsement_has_no_keyword(self):
+        instance = S3Instance()
+        instance.add_document(Document(build_document("d", "doc")))
+        instance.add_tag(Tag(URI("a"), URI("d"), URI("u")))
+        assert not list(instance.graph.objects(URI("a"), S3_HAS_KEYWORD))
+        assert instance.tags[URI("a")].is_endorsement
+
+    def test_duplicate_tag_rejected(self):
+        instance = S3Instance()
+        instance.add_document(Document(build_document("d", "doc")))
+        instance.add_tag(Tag(URI("a"), URI("d"), URI("u")))
+        with pytest.raises(ValueError):
+            instance.add_tag(Tag(URI("a"), URI("d"), URI("u")))
+
+    def test_tag_author_becomes_user(self):
+        instance = S3Instance()
+        instance.add_document(Document(build_document("d", "doc")))
+        instance.add_tag(Tag(URI("a"), URI("d"), URI("u:new")))
+        assert instance.is_user(URI("u:new"))
+
+
+class TestNetworkEdges:
+    def test_part_of_is_not_a_network_edge(self):
+        instance = figure3_instance()
+        targets = [t for t, _, _ in instance.network_out_edges(URI("URI0.1"))]
+        assert URI("URI0") not in targets  # partOf excluded
+
+    def test_contains_is_not_a_network_edge(self):
+        instance = figure3_instance()
+        edges = list(instance.network_out_edges(URI("URI0.0.0")))
+        assert all(not isinstance(t, Literal) for t, _, _ in edges)
+
+    def test_social_and_posted_are_network_edges(self):
+        instance = figure3_instance()
+        u0_targets = {t for t, _, _ in instance.network_out_edges(URI("u0"))}
+        # u0 posted URI0 (inverse postedBy edge) and knows u3.
+        assert u0_targets == {URI("URI0"), URI("u3")}
+
+    def test_network_nodes_universe(self):
+        instance = figure3_instance()
+        nodes = instance.network_nodes()
+        assert URI("u0") in nodes
+        assert URI("URI0.0.0") in nodes
+        assert URI("a0") in nodes
+        assert Literal("k0") not in nodes
+
+    def test_vertical_neighborhood_of_user_is_singleton(self):
+        instance = figure3_instance()
+        assert instance.vertical_neighborhood(URI("u0")) == {URI("u0")}
+
+    def test_vertical_neighborhood_of_fragment(self):
+        instance = figure3_instance()
+        neighborhood = instance.vertical_neighborhood(URI("URI0.0"))
+        assert neighborhood == {URI("URI0"), URI("URI0.0"), URI("URI0.0.0")}
+
+    def test_comments_bookkeeping(self):
+        instance = figure1_instance()
+        assert instance.comments_on(URI("d0.3.2")) == [URI("d2")]
+        assert instance.comment_targets(URI("d2")) == [URI("d0.3.2")]
+        assert instance.tags_on(URI("d0.5.1")) == [URI("t:u4")]

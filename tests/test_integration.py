@@ -1,0 +1,136 @@
+"""End-to-end integration tests across generators, engines and measures."""
+
+import pytest
+
+from repro.baselines import TopkSSearcher, uit_from_instance
+from repro.core import S3kScore, S3kSearch, exact_scores
+from repro.datasets import (
+    TwitterConfig,
+    VodkasterConfig,
+    YelpConfig,
+    build_twitter_instance,
+    build_vodkaster_instance,
+    build_yelp_instance,
+)
+from repro.eval import compare_engines
+from repro.queries import WorkloadBuilder, run_workload, s3k_runner, topks_runner
+from repro.rdf import URI
+
+
+@pytest.fixture(scope="module")
+def instances():
+    return {
+        "I1": build_twitter_instance(
+            TwitterConfig(n_users=70, n_statuses=200, seed=77)
+        ).instance,
+        "I2": build_vodkaster_instance(
+            VodkasterConfig(n_users=50, n_movies=12, n_comments=90, seed=77)
+        ).instance,
+        "I3": build_yelp_instance(
+            YelpConfig(n_users=60, n_businesses=12, n_reviews=100, seed=77)
+        ).instance,
+    }
+
+
+@pytest.mark.parametrize("name", ["I1", "I2", "I3"])
+class TestEveryInstanceSearchable:
+    def test_workload_terminates_by_threshold(self, instances, name):
+        instance = instances[name]
+        engine = S3kSearch(instance)
+        builder = WorkloadBuilder(instance, seed=8)
+        for spec in builder.build("+", 1, 5, 4).queries:
+            result = engine.search(spec.seeker, spec.keywords, k=spec.k)
+            assert result.terminated_by == "threshold"
+
+    def test_results_agree_with_oracle_scores(self, instances, name):
+        instance = instances[name]
+        engine = S3kSearch(instance)
+        builder = WorkloadBuilder(instance, seed=9)
+        spec = builder.build("-", 1, 5, 1).queries[0]
+        result = engine.search(spec.seeker, spec.keywords, k=spec.k)
+        exact = exact_scores(instance, spec.seeker, spec.keywords)
+        for ranked in result.results:
+            value = exact.get(ranked.uri, 0.0)
+            assert ranked.lower - 1e-9 <= value <= ranked.upper + 1e-9
+
+    def test_topks_runs_on_flattened_instance(self, instances, name):
+        instance = instances[name]
+        dataset, _ = uit_from_instance(instance)
+        searcher = TopkSSearcher(dataset, alpha=0.5)
+        builder = WorkloadBuilder(instance, seed=10)
+        workload = builder.build("+", 1, 5, 3)
+        summary = run_workload(topks_runner(searcher), workload)
+        assert len(summary.times) == 3
+
+    def test_comparison_measures_defined(self, instances, name):
+        instance = instances[name]
+        engine = S3kSearch(instance)
+        builder = WorkloadBuilder(instance, seed=11)
+        report = compare_engines(engine, [builder.build("+", 1, 5, 3)])
+        assert report.queries == 3
+        if name == "I2":
+            assert report.semantic_reachability == pytest.approx(1.0)
+
+
+class TestGammaBehaviour:
+    def test_larger_gamma_never_explores_more(self, instances):
+        # A larger γ damps long paths harder, so the threshold triggers
+        # at the same iteration or earlier.
+        instance = instances["I1"]
+        fast = S3kSearch(instance, score=S3kScore(gamma=4.0))
+        slow = S3kSearch(instance, score=S3kScore(gamma=1.25))
+        builder = WorkloadBuilder(instance, seed=12)
+        total_fast = total_slow = 0
+        for spec in builder.build("+", 1, 5, 4).queries:
+            total_fast += fast.search(spec.seeker, spec.keywords, k=spec.k).iterations
+            total_slow += slow.search(spec.seeker, spec.keywords, k=spec.k).iterations
+        assert total_fast <= total_slow
+
+    def test_eta_reorders_fragments(self, instances):
+        # Small η strongly penalizes deep evidence, favouring fragments
+        # close to the evidence; results must stay inside score bounds.
+        instance = instances["I3"]
+        sharp = S3kSearch(instance, score=S3kScore(eta=0.1))
+        flat = S3kSearch(instance, score=S3kScore(eta=0.9))
+        builder = WorkloadBuilder(instance, seed=13)
+        spec = builder.build("+", 1, 5, 1).queries[0]
+        for engine in (sharp, flat):
+            result = engine.search(spec.seeker, spec.keywords, k=5)
+            for ranked in result.results:
+                assert 0 <= ranked.lower <= ranked.upper
+
+
+class TestSociallyReachableItems:
+    def test_disconnected_tagger_unreachable(self):
+        from repro.baselines import UITDataset
+
+        dataset = UITDataset()
+        dataset.add_link("a", "b", 0.5)
+        dataset.add_triple("b", "i1", "jazz")
+        dataset.add_triple("z", "i2", "jazz")  # z disconnected from a
+        reachable = dataset.socially_reachable_items("a", ["jazz"])
+        assert reachable == {"i1"}
+        # The tag-presence variant sees both.
+        assert dataset.reachable_items(["jazz"]) == {"i1", "i2"}
+
+    def test_seeker_own_tags_reachable(self):
+        from repro.baselines import UITDataset
+
+        dataset = UITDataset()
+        dataset.add_triple("a", "i1", "jazz")
+        assert dataset.socially_reachable_items("a", ["jazz"]) == {"i1"}
+
+
+class TestWorkloadCoOccurrence:
+    def test_multi_keyword_queries_have_answers(self, instances):
+        # Co-occurrence sampling guarantees at least one document matches
+        # all query keywords (before semantic extension).
+        instance = instances["I1"]
+        engine = S3kSearch(instance)
+        builder = WorkloadBuilder(instance, seed=14)
+        answered = 0
+        queries = builder.build("+", 5, 5, 5).queries
+        for spec in queries:
+            result = engine.search(spec.seeker, spec.keywords, k=spec.k)
+            answered += bool(result.results)
+        assert answered >= len(queries) - 1  # allow one unlucky draw

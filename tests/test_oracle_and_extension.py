@@ -1,0 +1,195 @@
+"""Tests for the exhaustive oracle and keyword extension edge cases."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ProximityIndex,
+    S3Instance,
+    S3kScore,
+    exact_proximities,
+    exact_scores,
+    exact_top_k,
+    extend_query,
+    keyword_extension,
+)
+from repro.documents import Document, build_document
+from repro.rdf import (
+    RDF_TYPE,
+    RDFS_SUBCLASS,
+    RDFS_SUBPROPERTY,
+    URI,
+    Literal,
+)
+
+from .fixtures import figure1_instance, figure3_instance, two_community_instance
+from .instance_gen import VOCABULARY, random_instance
+
+
+class TestKeywordExtension:
+    def test_contains_itself(self):
+        instance = figure1_instance()
+        assert Literal("nosuchword") in keyword_extension(instance, "nosuchword")
+
+    def test_subclass_in_extension(self):
+        instance = figure1_instance()
+        extension = keyword_extension(instance, Literal("degre"))
+        assert URI("kb:MS") in extension
+
+    def test_transitive_subclass_via_saturation(self):
+        instance = S3Instance()
+        instance.add_knowledge(
+            [
+                (URI("kb:PhD"), RDFS_SUBCLASS, URI("kb:Postgrad")),
+                (URI("kb:Postgrad"), RDFS_SUBCLASS, Literal("degre")),
+            ]
+        )
+        instance.saturate()
+        extension = keyword_extension(instance, Literal("degre"))
+        assert URI("kb:PhD") in extension  # two levels, via closure
+
+    def test_instances_of_class_in_extension(self):
+        instance = S3Instance()
+        instance.add_knowledge(
+            [
+                (URI("kb:e1"), RDF_TYPE, URI("kb:Uni")),
+                (URI("kb:Uni"), RDFS_SUBCLASS, Literal("university")),
+            ]
+        )
+        instance.saturate()
+        # saturation derives kb:e1 type "university" (rdfs9), so the
+        # entity is in the literal's extension.
+        assert URI("kb:e1") in keyword_extension(instance, Literal("university"))
+
+    def test_subproperty_in_extension(self):
+        instance = S3Instance()
+        instance.add_knowledge(
+            [(URI("p:workedWith"), RDFS_SUBPROPERTY, URI("p:knows"))]
+        )
+        instance.saturate()
+        assert URI("p:workedWith") in keyword_extension(instance, URI("p:knows"))
+
+    def test_weighted_schema_triple_ignored(self):
+        instance = S3Instance()
+        instance.graph.add(URI("kb:Maybe"), RDFS_SUBCLASS, Literal("topic"), 0.5)
+        instance.saturate()
+        assert URI("kb:Maybe") not in keyword_extension(instance, Literal("topic"))
+
+    def test_extend_query_maps_every_keyword(self):
+        instance = figure1_instance()
+        extended = extend_query(instance, ["degre", "university"])
+        assert set(extended) == {Literal("degre"), Literal("university")}
+        assert URI("kb:MS") in extended[Literal("degre")]
+
+
+class TestExactProximities:
+    def test_tolerance_tightens_result(self):
+        instance = figure3_instance()
+        score = S3kScore(gamma=2.0)
+        loose, index = exact_proximities(instance, URI("u0"), score, tolerance=1e-2)
+        tight, _ = exact_proximities(
+            instance, URI("u0"), score, tolerance=1e-12, prox_index=index
+        )
+        # Tight run accumulates at least as much mass everywhere.
+        assert (tight - loose).min() >= -1e-12
+
+    def test_seeker_self_proximity(self):
+        instance = figure3_instance()
+        score = S3kScore(gamma=2.0)
+        accumulated, index = exact_proximities(instance, URI("u0"), score)
+        assert accumulated[index.node_index(URI("u0"))] >= score.c_gamma
+
+    def test_all_proximities_in_unit_interval(self):
+        instance = two_community_instance()
+        accumulated, index = exact_proximities(instance, URI("u0"), S3kScore())
+        for uri in sorted(instance.network_nodes()):
+            assert 0.0 <= index.source_proximity(accumulated, uri) <= 1.0 + 1e-9
+
+
+class TestExactScores:
+    def test_zero_score_documents_excluded(self):
+        instance = figure1_instance()
+        scores = exact_scores(instance, "u1", ["debate"])
+        assert all(value > 0 for value in scores.values())
+        assert URI("d1") not in scores  # d1 does not contain "debate"
+
+    def test_product_semantics(self):
+        # A document matching only one of two keywords scores zero.
+        instance = figure1_instance()
+        both = exact_scores(instance, "u1", ["debate", "campus"])
+        assert URI("d0") in both
+        assert URI("d0.3.2") not in both
+
+    def test_semantic_flag(self):
+        instance = figure1_instance()
+        with_semantics = exact_scores(instance, "u1", ["degre"])
+        without = exact_scores(instance, "u1", ["degre"], semantic=False)
+        assert URI("d1") in with_semantics
+        assert URI("d1") not in without
+
+    def test_closer_seeker_scores_higher(self):
+        instance = two_community_instance()
+        near = exact_scores(instance, "u0", ["python"])[URI("docA")]
+        far = exact_scores(instance, "u5", ["python"])[URI("docA")]
+        assert near > far
+
+
+class TestExactTopK:
+    def test_respects_k(self):
+        # "degre" matches d2 and, via the extension, d1 and d0 — distinct
+        # trees, so at least two neighbor-free answers exist.
+        instance = figure1_instance()
+        assert len(exact_top_k(instance, "u1", ["degre"], 1)) == 1
+        assert len(exact_top_k(instance, "u1", ["degre"], 2)) == 2
+
+    def test_all_candidates_in_one_chain_yield_single_answer(self):
+        # "debate" occurs only in d0.3.2: every candidate is a vertical
+        # neighbor of the others, so the answer has exactly one element
+        # regardless of k (Definition 3.2's exclusion).
+        instance = figure1_instance()
+        assert len(exact_top_k(instance, "u1", ["debate"], 5)) == 1
+
+    def test_excludes_vertical_neighbors(self):
+        instance = figure1_instance()
+        picked = exact_top_k(instance, "u1", ["debate"], 5)
+        uris = [uri for uri, _ in picked]
+        for i, a in enumerate(uris):
+            neighborhood = instance.vertical_neighborhood(a)
+            assert not any(b in neighborhood for b in uris[i + 1:])
+
+    def test_scores_descending(self):
+        instance = figure1_instance()
+        picked = exact_top_k(instance, "u1", ["degre"], 5)
+        values = [value for _, value in picked]
+        assert values == sorted(values, reverse=True)
+
+    def test_deeper_fragment_wins_ties(self):
+        # A fragment and its ancestor with identical evidence: the deeper
+        # one has the higher score (no η penalty), so it is picked.
+        instance = S3Instance()
+        instance.add_user("u")
+        root = build_document("doc", "doc")
+        child = root.add_child(URI("doc.1"), "sec", ["topic"])
+        instance.add_document(Document(root), posted_by="u")
+        instance.saturate()
+        [(winner, _)] = exact_top_k(instance, "u", ["topic"], 1)
+        assert winner == URI("doc.1")
+
+
+class TestNaiveMatrixAgreementRandom:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_instances(self, seed):
+        rng = random.Random(100 + seed)
+        instance = random_instance(rng, n_users=5, n_docs=4)
+        matrix_index = ProximityIndex(instance, use_matrix=True)
+        naive_index = ProximityIndex(instance, use_matrix=False)
+        seeker = sorted(instance.users)[0]
+        border_m = matrix_index.start_vector(seeker)
+        border_n = naive_index.start_vector(seeker)
+        for _ in range(6):
+            border_m = matrix_index.step(border_m)
+            border_n = naive_index.step(border_n)
+            assert border_m == pytest.approx(border_n, abs=1e-12)
+            # Substochastic mass: the total never exceeds 1.
+            assert border_m.sum() <= 1.0 + 1e-9

@@ -1,0 +1,185 @@
+"""Tests for social paths: normalization (Example 2.3), proximity (Ex 3.1)."""
+
+import math
+
+import pytest
+
+from repro.core import PathExplorer, ProximityIndex, S3kScore, bounded_social_proximity
+from repro.core.oracle import exact_proximities
+from repro.rdf import URI
+
+from .fixtures import figure3_instance
+
+
+class TestNormalization:
+    def test_example_2_3_first_edge(self):
+        # Path p starts at u0; its first edge (to URI0) is normalized by the
+        # edges leaving u0: one to URI0 (weight 1), one to u3 (weight 0.3).
+        instance = figure3_instance()
+        explorer = PathExplorer(instance)
+        normalized = {
+            edge.target: n_w for edge, n_w in explorer.normalized_out_edges(URI("u0"))
+        }
+        assert normalized[URI("URI0")] == pytest.approx(1 / 1.3)
+        assert normalized[URI("u3")] == pytest.approx(0.3 / 1.3)
+
+    def test_example_2_3_second_edge(self):
+        # After entering the document through URI0, the next edge exits
+        # URI0.0.0 and is normalized by all edges leaving a fragment of
+        # URI0: total weight 4, hence 1/4 = 0.25.
+        instance = figure3_instance()
+        explorer = PathExplorer(instance)
+        edges, total = explorer.neighborhood_out_edges(URI("URI0"))
+        assert total == pytest.approx(4.0)
+        normalized = {
+            (edge.source, edge.target): n_w
+            for edge, n_w in explorer.normalized_out_edges(URI("URI0"))
+        }
+        assert normalized[(URI("URI0.0.0"), URI("a0"))] == pytest.approx(0.25)
+
+    def test_normalization_depends_on_entry_point(self):
+        # The same physical edge normalized differently when the path is
+        # "at" URI0.1 (whose neighborhood is only {URI0, URI0.1}).
+        instance = figure3_instance()
+        explorer = PathExplorer(instance)
+        _, total_at_01 = explorer.neighborhood_out_edges(URI("URI0.1"))
+        _, total_at_root = explorer.neighborhood_out_edges(URI("URI0"))
+        assert total_at_01 < total_at_root
+
+    def test_normalized_weights_sum_to_one(self):
+        instance = figure3_instance()
+        explorer = PathExplorer(instance)
+        for node in ("u0", "u1", "URI0", "URI0.0.0", "a0"):
+            weights = [n_w for _, n_w in explorer.normalized_out_edges(URI(node))]
+            if weights:
+                assert sum(weights) == pytest.approx(1.0)
+
+
+class TestPathEnumeration:
+    def test_path_through_vertical_neighborhood(self):
+        # The paper's example path: u2 → a0 → URI0.0.0 ⇢ URI0 → u0.
+        instance = figure3_instance()
+        explorer = PathExplorer(instance)
+        paths = list(explorer.paths_between(URI("u2"), URI("u0"), 3))
+        traversals = [
+            tuple(edge.target for edge in path.edges) for path in paths
+        ]
+        assert (URI("a0"), URI("URI0.0.0"), URI("u0")) in traversals
+
+    def test_sibling_barrier(self):
+        # "it is not possible to move from URI0.1 to URI0.0.0 through a
+        # vertical neighborhood": URI0.1 and URI0.0.0 are siblings, so a
+        # path entering the document at URI0.1 cannot exit through
+        # URI0.0.0's edges (only through URI0's or URI0.1's own).
+        instance = figure3_instance()
+        explorer = PathExplorer(instance)
+        exits = {edge.source for edge, _ in explorer.normalized_out_edges(URI("URI0.1"))}
+        assert URI("URI0.0.0") not in exits
+        assert URI("URI0.0") not in exits
+        # Whereas entering at the root URI0 allows exiting anywhere.
+        root_exits = {
+            edge.source for edge, _ in explorer.normalized_out_edges(URI("URI0"))
+        }
+        assert URI("URI0.0.0") in root_exits
+
+    def test_path_proximity_is_product(self):
+        instance = figure3_instance()
+        explorer = PathExplorer(instance)
+        for path in explorer.paths_up_to(URI("u0"), 3):
+            assert path.proximity() == pytest.approx(
+                math.prod(path.normalized_weights)
+            )
+
+    def test_proximity_decreases_with_concatenation(self):
+        # −→prox(p1 || p2) ≤ min(−→prox(p1), −→prox(p2)).
+        instance = figure3_instance()
+        explorer = PathExplorer(instance)
+        for path in explorer.paths_up_to(URI("u0"), 3):
+            if len(path) >= 2:
+                prefix_prox = math.prod(path.normalized_weights[:-1])
+                assert path.proximity() <= prefix_prox + 1e-12
+
+
+class TestBoundedProximity:
+    def test_example_3_1(self):
+        # prox≤1(u0, URI0) = Cγ · (1/1.3) / γ  plus nothing else at length 1.
+        instance = figure3_instance()
+        gamma = 2.0
+        expected = ((gamma - 1) / gamma) * (1 / 1.3) / gamma
+        result = bounded_social_proximity(
+            instance, URI("u0"), URI("URI0"), 1, gamma=gamma, include_empty=False
+        )
+        assert result == pytest.approx(expected)
+
+    def test_proximity_monotone_in_horizon(self):
+        instance = figure3_instance()
+        values = [
+            bounded_social_proximity(instance, URI("u0"), URI("u1"), n)
+            for n in range(1, 5)
+        ]
+        for shorter, longer in zip(values, values[1:]):
+            assert longer >= shorter - 1e-12
+
+    def test_self_proximity_includes_empty_path(self):
+        instance = figure3_instance()
+        value = bounded_social_proximity(instance, URI("u2"), URI("u2"), 0)
+        assert value == pytest.approx(0.5)  # Cγ for γ=2
+
+    def test_proximity_bounded_by_one(self):
+        instance = figure3_instance()
+        for target in ("u0", "u1", "URI0", "a0"):
+            value = bounded_social_proximity(instance, URI("u0"), URI(target), 6)
+            assert 0.0 <= value <= 1.0
+
+
+class TestMatrixEngineAgreement:
+    """The sparse matrix engine must agree with explicit path enumeration."""
+
+    @pytest.mark.parametrize("use_matrix", [True, False])
+    def test_accumulated_prox_matches_enumeration(self, use_matrix):
+        instance = figure3_instance()
+        score = S3kScore(gamma=2.0)
+        index = ProximityIndex(instance, use_matrix=use_matrix)
+        seeker = URI("u0")
+        horizon = 4
+
+        border = index.start_vector(seeker)
+        accumulated = border * score.c_gamma
+        for _ in range(horizon):
+            border = index.step(border) / score.gamma
+            accumulated += score.c_gamma * border
+
+        for target in ("u1", "u2", "u3", "URI0", "URI1", "a0"):
+            expected = bounded_social_proximity(
+                instance, seeker, URI(target), horizon, gamma=2.0
+            )
+            actual = index.source_proximity(accumulated, URI(target))
+            assert actual == pytest.approx(expected, rel=1e-9), target
+
+    def test_naive_and_matrix_steps_agree(self):
+        instance = figure3_instance()
+        matrix_index = ProximityIndex(instance, use_matrix=True)
+        naive_index = ProximityIndex(instance, use_matrix=False)
+        border_m = matrix_index.start_vector(URI("u0"))
+        border_n = naive_index.start_vector(URI("u0"))
+        for _ in range(5):
+            border_m = matrix_index.step(border_m)
+            border_n = naive_index.step(border_n)
+            assert border_m == pytest.approx(border_n)
+
+    def test_tail_bound_dominates_remaining_mass(self):
+        # prox − prox≤n ≤ γ^{−(n+1)}: check against a high-precision run.
+        instance = figure3_instance()
+        score = S3kScore(gamma=2.0)
+        exact, index = exact_proximities(instance, URI("u0"), score, tolerance=1e-14)
+        for n in range(1, 8):
+            border = index.start_vector(URI("u0"))
+            accumulated = border * score.c_gamma
+            for _ in range(n):
+                border = index.step(border) / score.gamma
+                accumulated += score.c_gamma * border
+            for target in ("u1", "u2", "URI0", "a0"):
+                gap = index.source_proximity(exact, URI(target)) - index.source_proximity(
+                    accumulated, URI(target)
+                )
+                assert gap <= score.prox_tail_bound(n) + 1e-12

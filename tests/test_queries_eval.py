@@ -1,0 +1,156 @@
+"""Tests for workloads, the timing runner and the evaluation measures."""
+
+import pytest
+
+from repro.core import S3kSearch
+from repro.datasets import TwitterConfig, build_twitter_instance
+from repro.eval import (
+    compare_engines,
+    graph_reachability,
+    intersection_size,
+    normalized_footrule,
+    semantic_reachability,
+    spearman_footrule,
+    format_table,
+)
+from repro.queries import (
+    QuerySpec,
+    WorkloadBuilder,
+    document_frequencies,
+    frequency_buckets,
+    run_workload,
+    s3k_runner,
+)
+from repro.rdf import Literal
+
+
+@pytest.fixture(scope="module")
+def twitter():
+    return build_twitter_instance(TwitterConfig(n_users=60, n_statuses=150, seed=5))
+
+
+class TestWorkloads:
+    def test_document_frequencies_count_roots(self, twitter):
+        frequencies = document_frequencies(twitter.instance)
+        assert frequencies
+        assert all(f >= 1 for f in frequencies.values())
+        assert max(frequencies.values()) <= len(twitter.instance.documents)
+
+    def test_frequency_buckets_disjoint_quartiles(self, twitter):
+        frequencies = document_frequencies(twitter.instance)
+        rare, common = frequency_buckets(frequencies)
+        assert rare and common
+        max_rare = max(frequencies[k] for k in rare)
+        min_common = min(frequencies[k] for k in common)
+        assert max_rare <= min_common
+
+    def test_builder_grid_is_eight_workloads(self, twitter):
+        builder = WorkloadBuilder(twitter.instance, seed=3)
+        grid = builder.paper_grid(n_queries=4)
+        assert len(grid) == 8
+        names = {w.name for w in grid}
+        assert "qset(+,1,5)" in names and "qset(-,5,10)" in names
+        assert all(len(w) == 4 for w in grid)
+
+    def test_vary_k_grid(self, twitter):
+        builder = WorkloadBuilder(twitter.instance, seed=3)
+        grid = builder.vary_k_grid(ks=(1, 5), n_queries=2)
+        assert [w.k for w in grid] == [1, 5, 1, 5]
+        assert all(w.n_keywords == 1 for w in grid)
+
+    def test_workload_keywords_come_from_right_bucket(self, twitter):
+        frequencies = document_frequencies(twitter.instance)
+        rare, common = frequency_buckets(frequencies)
+        builder = WorkloadBuilder(twitter.instance, seed=3)
+        workload = builder.build("-", 1, 5, 10)
+        for spec in workload.queries:
+            assert all(kw in rare for kw in spec.keywords)
+
+    def test_invalid_frequency_rejected(self, twitter):
+        builder = WorkloadBuilder(twitter.instance, seed=3)
+        with pytest.raises(ValueError):
+            builder.build("x", 1, 5, 2)
+
+    def test_runner_produces_quartiles(self, twitter):
+        engine = S3kSearch(twitter.instance)
+        builder = WorkloadBuilder(twitter.instance, seed=3)
+        workload = builder.build("+", 1, 5, 6)
+        summary = run_workload(s3k_runner(engine), workload)
+        quartiles = summary.quartiles()
+        assert quartiles["min"] <= quartiles["q1"] <= quartiles["median"]
+        assert quartiles["median"] <= quartiles["q3"] <= quartiles["max"]
+        assert summary.median > 0
+        assert len(summary.times) == 6
+
+
+class TestFootrule:
+    def test_identical_lists_zero(self):
+        assert spearman_footrule(["a", "b", "c"], ["a", "b", "c"]) == 0
+        assert normalized_footrule(["a", "b"], ["a", "b"]) == 0.0
+
+    def test_disjoint_lists_max(self):
+        # k=3 disjoint: 2k(k+1) − 2·k(k+1)/2 = k(k+1) = 12
+        assert spearman_footrule(["a", "b", "c"], ["x", "y", "z"]) == 12
+        assert normalized_footrule(["a", "b", "c"], ["x", "y", "z"]) == 1.0
+
+    def test_swap_costs_rank_difference(self):
+        value = spearman_footrule(["a", "b"], ["b", "a"])
+        assert value == 2  # |1-2| + |2-1|
+
+    def test_empty_lists(self):
+        assert normalized_footrule([], []) == 0.0
+
+    def test_different_lengths_normalized_in_unit_interval(self):
+        value = normalized_footrule(["a", "b", "c", "d", "e"], ["x"])
+        assert 0.0 <= value <= 1.0
+
+    def test_more_agreement_means_smaller_distance(self):
+        far = normalized_footrule(["a", "b", "c"], ["x", "y", "z"])
+        near = normalized_footrule(["a", "b", "c"], ["a", "b", "z"])
+        assert near < far
+
+
+class TestOtherMeasures:
+    def test_intersection_size(self):
+        assert intersection_size(["a", "b"], ["b", "c"]) == pytest.approx(0.5)
+        assert intersection_size([], []) == 0.0
+
+    def test_graph_reachability(self):
+        items = {"d1": "i1", "d2": "i2", "d3": "i3"}
+        value = graph_reachability(["d1", "d2", "d3"], items, {"i1"})
+        assert value == pytest.approx(2 / 3)
+        assert graph_reachability([], items, {"i1"}) == 0.0
+
+    def test_semantic_reachability(self):
+        assert semantic_reachability(8, 10) == pytest.approx(0.8)
+        assert semantic_reachability(0, 0) == 1.0
+
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [["x", 1], ["yy", 22]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+
+
+class TestComparisonHarness:
+    def test_report_fields_in_range(self, twitter):
+        engine = S3kSearch(twitter.instance)
+        builder = WorkloadBuilder(twitter.instance, seed=4)
+        report = compare_engines(engine, [builder.build("+", 1, 5, 4)])
+        assert report.queries == 4
+        assert 0.0 <= report.graph_reachability <= 1.0
+        assert 0.0 < report.semantic_reachability <= 1.0
+        assert 0.0 <= report.l1 <= 1.0
+        assert 0.0 <= report.intersection <= 1.0
+        rows = report.rows()
+        assert set(rows) == {
+            "Graph reachability",
+            "Semantic reachability",
+            "L1",
+            "Intersection size",
+        }
+
+    def test_empty_workloads(self, twitter):
+        engine = S3kSearch(twitter.instance)
+        report = compare_engines(engine, [])
+        assert report.queries == 0

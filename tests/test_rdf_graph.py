@@ -1,0 +1,202 @@
+"""Tests for the weighted RDF graph (terms, triples, indexes)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rdf import (
+    Literal,
+    RDFGraph,
+    Triple,
+    URI,
+    coerce_term,
+    is_literal,
+    is_uri,
+    make_triple,
+    make_weighted,
+)
+
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+class TestTerms:
+    def test_uri_is_string(self):
+        uri = URI("http://example.org/a")
+        assert uri == "http://example.org/a"
+        assert is_uri(uri)
+        assert not is_literal(uri)
+
+    def test_literal_is_string(self):
+        lit = Literal("graduate")
+        assert lit == "graduate"
+        assert is_literal(lit)
+        assert not is_uri(lit)
+
+    def test_uri_and_literal_compare_equal_but_type_distinguishable(self):
+        # str semantics: equal content compares equal; isinstance separates.
+        assert URI("x") == Literal("x")
+        assert is_uri(URI("x")) and not is_uri(Literal("x"))
+
+    def test_coerce_plain_string_to_literal(self):
+        assert is_literal(coerce_term("hello"))
+
+    def test_coerce_preserves_uri(self):
+        uri = URI("u:1")
+        assert coerce_term(uri) is uri
+
+    def test_coerce_rejects_non_string(self):
+        with pytest.raises(TypeError):
+            coerce_term(42)
+
+
+# ---------------------------------------------------------------------------
+# Triples
+# ---------------------------------------------------------------------------
+class TestTriples:
+    def test_make_triple_coerces_subject_and_predicate(self):
+        triple = make_triple("u:1", "p:knows", "u:2")
+        assert is_uri(triple.subject)
+        assert is_uri(triple.predicate)
+
+    def test_make_triple_rejects_literal_subject(self):
+        with pytest.raises(ValueError):
+            make_triple(Literal("x"), "p", "o")
+
+    def test_make_triple_rejects_literal_predicate(self):
+        with pytest.raises(ValueError):
+            make_triple("s", Literal("p"), "o")
+
+    def test_weight_default_is_one(self):
+        wt = make_weighted("s", "p", "o")
+        assert wt.weight == 1.0
+
+    def test_weight_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            make_weighted("s", "p", "o", 1.5)
+        with pytest.raises(ValueError):
+            make_weighted("s", "p", "o", -0.1)
+
+    def test_weighted_triple_exposes_plain_triple(self):
+        wt = make_weighted("s", "p", "o", 0.5)
+        assert wt.triple == make_triple("s", "p", "o")
+
+
+# ---------------------------------------------------------------------------
+# Graph
+# ---------------------------------------------------------------------------
+class TestGraph:
+    def test_add_and_contains(self):
+        graph = RDFGraph()
+        assert graph.add("s", "p", "o")
+        assert make_triple("s", "p", "o") in graph
+        assert len(graph) == 1
+
+    def test_add_duplicate_is_noop(self):
+        graph = RDFGraph()
+        graph.add("s", "p", "o")
+        assert not graph.add("s", "p", "o")
+        assert len(graph) == 1
+
+    def test_re_add_keeps_max_weight(self):
+        graph = RDFGraph()
+        graph.add("s", "p", "o", 0.4)
+        assert graph.add("s", "p", "o", 0.9)
+        assert graph.weight(*make_triple("s", "p", "o")) == 0.9
+        # lower weight does not demote
+        assert not graph.add("s", "p", "o", 0.2)
+        assert graph.weight(*make_triple("s", "p", "o")) == 0.9
+
+    def test_discard(self):
+        graph = RDFGraph()
+        graph.add("s", "p", "o")
+        triple = make_triple("s", "p", "o")
+        assert graph.discard(*triple)
+        assert triple not in graph
+        assert not graph.discard(*triple)
+        assert list(graph.triples(subject=URI("s"))) == []
+
+    def test_pattern_by_subject(self):
+        graph = RDFGraph()
+        graph.add("s1", "p", "o1")
+        graph.add("s1", "q", "o2")
+        graph.add("s2", "p", "o1")
+        results = {wt.triple for wt in graph.triples(subject=URI("s1"))}
+        assert results == {make_triple("s1", "p", "o1"), make_triple("s1", "q", "o2")}
+
+    def test_pattern_by_predicate_object(self):
+        graph = RDFGraph()
+        graph.add("s1", "p", "o")
+        graph.add("s2", "p", "o")
+        graph.add("s3", "p", "other")
+        assert set(graph.subjects(URI("p"), Literal("o"))) == {URI("s1"), URI("s2")}
+
+    def test_pattern_full_wildcard(self):
+        graph = RDFGraph()
+        graph.add("s1", "p", "o")
+        graph.add("s2", "q", "o2")
+        assert len(list(graph.triples())) == 2
+
+    def test_pattern_subject_predicate(self):
+        graph = RDFGraph()
+        graph.add("s", "p", "o1")
+        graph.add("s", "p", "o2")
+        graph.add("s", "q", "o3")
+        assert set(graph.objects(URI("s"), URI("p"))) == {Literal("o1"), Literal("o2")}
+
+    def test_pattern_exact_triple(self):
+        graph = RDFGraph()
+        graph.add("s", "p", "o")
+        found = list(graph.triples(URI("s"), URI("p"), Literal("o")))
+        assert len(found) == 1 and found[0].weight == 1.0
+        assert list(graph.triples(URI("s"), URI("p"), Literal("zzz"))) == []
+
+    def test_iteration_yields_weights(self):
+        graph = RDFGraph()
+        graph.add("s", "p", "o", 0.3)
+        [wt] = list(graph)
+        assert wt.weight == 0.3
+
+    def test_copy_is_independent(self):
+        graph = RDFGraph()
+        graph.add("s", "p", "o")
+        clone = graph.copy()
+        clone.add("s2", "p", "o")
+        assert len(graph) == 1
+        assert len(clone) == 2
+
+    def test_has_property(self):
+        graph = RDFGraph()
+        graph.add("s", "p", "o")
+        assert graph.has_property(URI("p"))
+        assert not graph.has_property(URI("q"))
+
+
+# ---------------------------------------------------------------------------
+# Property-based: the graph behaves as a set of (s, p, o) with max-weights
+# ---------------------------------------------------------------------------
+_uris = st.text(alphabet="abcd:", min_size=1, max_size=6).map(URI)
+_weights = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+_entries = st.lists(st.tuples(_uris, _uris, _uris, _weights), max_size=40)
+
+
+class TestGraphProperties:
+    @given(_entries)
+    def test_graph_matches_reference_dict(self, entries):
+        graph = RDFGraph()
+        reference = {}
+        for s, p, o, w in entries:
+            graph.add(s, p, o, w)
+            key = Triple(s, p, o)
+            reference[key] = max(reference.get(key, 0.0), w)
+        assert len(graph) == len(reference)
+        for triple, weight in reference.items():
+            assert graph.weight(*triple) == weight
+
+    @given(_entries)
+    def test_subject_index_consistent(self, entries):
+        graph = RDFGraph()
+        for s, p, o, w in entries:
+            graph.add(s, p, o, w)
+        for s, p, o, _ in entries:
+            matches = {wt.triple for wt in graph.triples(subject=s)}
+            assert Triple(s, p, o) in matches

@@ -1,0 +1,215 @@
+"""Tests for RDFS saturation: every rule, weight restriction, fixpoint."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf import (
+    RDFGraph,
+    RDF_TYPE,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASS,
+    RDFS_SUBPROPERTY,
+    Triple,
+    URI,
+    add_and_saturate,
+    saturate,
+)
+from repro.rdf.schema import SchemaView
+
+
+def _graph(*triples):
+    graph = RDFGraph()
+    for t in triples:
+        graph.add(*t)
+    return graph
+
+
+class TestIndividualRules:
+    def test_subclass_transitivity(self):
+        # M.S.Degree ≺sc Degree ≺sc Qualification
+        graph = _graph(
+            ("MS", RDFS_SUBCLASS, URI("Degree")),
+            ("Degree", RDFS_SUBCLASS, URI("Qualification")),
+        )
+        saturate(graph)
+        assert Triple(URI("MS"), RDFS_SUBCLASS, URI("Qualification")) in graph
+
+    def test_subproperty_transitivity(self):
+        graph = _graph(
+            ("workingWith", RDFS_SUBPROPERTY, URI("acquaintedWith")),
+            ("acquaintedWith", RDFS_SUBPROPERTY, URI("knows")),
+        )
+        saturate(graph)
+        assert Triple(URI("workingWith"), RDFS_SUBPROPERTY, URI("knows")) in graph
+
+    def test_type_propagation_through_subclass(self):
+        graph = _graph(
+            ("ms1", RDF_TYPE, URI("MS")),
+            ("MS", RDFS_SUBCLASS, URI("Degree")),
+        )
+        saturate(graph)
+        assert Triple(URI("ms1"), RDF_TYPE, URI("Degree")) in graph
+
+    def test_assertion_propagation_through_subproperty(self):
+        graph = _graph(
+            ("u1", URI("workingWith"), URI("u2")),
+            ("workingWith", RDFS_SUBPROPERTY, URI("acquaintedWith")),
+        )
+        saturate(graph)
+        assert Triple(URI("u1"), URI("acquaintedWith"), URI("u2")) in graph
+
+    def test_domain_typing(self):
+        # The paper's example: hasFriend ←↩d Person, u1 hasFriend u0
+        # entails u1 type Person.
+        graph = _graph(
+            ("hasFriend", RDFS_DOMAIN, URI("Person")),
+            ("u1", URI("hasFriend"), URI("u0")),
+        )
+        saturate(graph)
+        assert Triple(URI("u1"), RDF_TYPE, URI("Person")) in graph
+
+    def test_range_typing(self):
+        # u1 hasFriend u0, hasFriend ↪→r Person entails u0 type Person.
+        graph = _graph(
+            ("hasFriend", RDFS_RANGE, URI("Person")),
+            ("u1", URI("hasFriend"), URI("u0")),
+        )
+        saturate(graph)
+        assert Triple(URI("u0"), RDF_TYPE, URI("Person")) in graph
+
+    def test_range_typing_skips_literal_objects(self):
+        graph = _graph(
+            ("hasName", RDFS_RANGE, URI("Name")),
+            ("u1", URI("hasName"), "bob"),  # literal object: no typing
+        )
+        saturate(graph)
+        assert not any(
+            wt.predicate == RDF_TYPE and wt.subject == URI("bob") for wt in graph
+        )
+
+
+class TestRuleInteraction:
+    def test_subproperty_then_domain(self):
+        # p ≺sp q, q ←↩d C, s p o  ⊢  s q o  ⊢  s type C
+        graph = _graph(
+            ("p", RDFS_SUBPROPERTY, URI("q")),
+            ("q", RDFS_DOMAIN, URI("C")),
+            ("s", URI("p"), URI("o")),
+        )
+        saturate(graph)
+        assert Triple(URI("s"), URI("q"), URI("o")) in graph
+        assert Triple(URI("s"), RDF_TYPE, URI("C")) in graph
+
+    def test_deep_subclass_chain(self):
+        triples = [(f"c{i}", RDFS_SUBCLASS, URI(f"c{i+1}")) for i in range(6)]
+        triples.append(("x", RDF_TYPE, URI("c0")))
+        graph = _graph(*triples)
+        saturate(graph)
+        for i in range(7):
+            assert Triple(URI("x"), RDF_TYPE, URI(f"c{i}")) in graph
+
+    def test_saturation_is_idempotent(self):
+        graph = _graph(
+            ("MS", RDFS_SUBCLASS, URI("Degree")),
+            ("ms1", RDF_TYPE, URI("MS")),
+        )
+        first = saturate(graph)
+        assert first > 0
+        assert saturate(graph) == 0
+
+    def test_incremental_equals_batch(self):
+        base = [
+            ("c0", RDFS_SUBCLASS, URI("c1")),
+            ("c1", RDFS_SUBCLASS, URI("c2")),
+            ("p", RDFS_DOMAIN, URI("c0")),
+        ]
+        extra = [Triple(URI("x"), URI("p"), URI("y"))]
+        batch = _graph(*base)
+        batch.add("x", "p", "y")
+        saturate(batch)
+
+        incremental = _graph(*base)
+        saturate(incremental)
+        add_and_saturate(incremental, extra)
+
+        assert {wt.triple for wt in batch} == {wt.triple for wt in incremental}
+
+
+class TestWeightRestriction:
+    def test_weighted_premise_does_not_fire(self):
+        # Entailment applies only to weight-1 triples.
+        graph = RDFGraph()
+        graph.add("u1", "hasFriend", URI("u0"), 0.5)
+        graph.add("hasFriend", RDFS_DOMAIN, URI("Person"))
+        saturate(graph)
+        assert Triple(URI("u1"), RDF_TYPE, URI("Person")) not in graph
+
+    def test_weighted_schema_does_not_fire(self):
+        graph = RDFGraph()
+        graph.add("u1", "hasFriend", URI("u0"))
+        graph.add("hasFriend", RDFS_DOMAIN, URI("Person"), 0.6)
+        saturate(graph)
+        assert Triple(URI("u1"), RDF_TYPE, URI("Person")) not in graph
+
+    def test_entailed_triples_have_weight_one(self):
+        graph = _graph(
+            ("ms1", RDF_TYPE, URI("MS")),
+            ("MS", RDFS_SUBCLASS, URI("Degree")),
+        )
+        saturate(graph)
+        assert graph.weight(URI("ms1"), RDF_TYPE, URI("Degree")) == 1.0
+
+
+class TestSchemaView:
+    def test_accessors(self):
+        graph = _graph(
+            ("MS", RDFS_SUBCLASS, URI("Degree")),
+            ("follow", RDFS_SUBPROPERTY, URI("social")),
+            ("follow", RDFS_DOMAIN, URI("Person")),
+            ("follow", RDFS_RANGE, URI("Person")),
+            ("ms1", RDF_TYPE, URI("MS")),
+        )
+        saturate(graph)
+        view = SchemaView(graph)
+        assert URI("MS") in view.subclasses(URI("Degree"))
+        assert URI("Degree") in view.superclasses(URI("MS"))
+        assert URI("follow") in view.subproperties(URI("social"))
+        assert URI("social") in view.superproperties(URI("follow"))
+        assert view.domain(URI("follow")) == {URI("Person")}
+        assert view.range(URI("follow")) == {URI("Person")}
+        assert URI("ms1") in view.instances(URI("MS"))
+        assert URI("MS") in view.types(URI("ms1"))
+        assert set(view.properties_specializing(URI("social"))) == {
+            URI("social"),
+            URI("follow"),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Property-based: saturation computes the true transitive closure
+# ---------------------------------------------------------------------------
+_class_names = st.integers(min_value=0, max_value=7).map(lambda i: URI(f"c{i}"))
+
+
+class TestSaturationProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(_class_names, _class_names), max_size=15))
+    def test_subclass_closure_matches_reachability(self, edges):
+        graph = RDFGraph()
+        for a, b in edges:
+            graph.add(a, RDFS_SUBCLASS, b)
+        saturate(graph)
+        # Reference: reachability in the subclass digraph.
+        adjacency = {}
+        for a, b in edges:
+            adjacency.setdefault(a, set()).add(b)
+        for a, _ in edges:
+            reachable, stack = set(), [a]
+            while stack:
+                node = stack.pop()
+                for nxt in adjacency.get(node, ()):
+                    if nxt not in reachable:
+                        reachable.add(nxt)
+                        stack.append(nxt)
+            for b in reachable:
+                assert Triple(a, RDFS_SUBCLASS, b) in graph

@@ -1,0 +1,166 @@
+"""Tests for the concrete S3k score and its feasibility properties."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import S3kScore
+from repro.rdf import S3_CONTAINS
+
+
+class TestConstruction:
+    def test_rejects_gamma_at_most_one(self):
+        with pytest.raises(ValueError):
+            S3kScore(gamma=1.0)
+        with pytest.raises(ValueError):
+            S3kScore(gamma=0.5)
+
+    def test_rejects_eta_outside_unit(self):
+        with pytest.raises(ValueError):
+            S3kScore(eta=0.0)
+        with pytest.raises(ValueError):
+            S3kScore(eta=1.0)
+
+    def test_c_gamma(self):
+        assert S3kScore(gamma=2.0).c_gamma == pytest.approx(0.5)
+        assert S3kScore(gamma=1.25).c_gamma == pytest.approx(0.2)
+
+
+class TestPathAggregation:
+    def test_single_path(self):
+        score = S3kScore(gamma=2.0)
+        assert score.aggregate_paths([(0.5, 2)]) == pytest.approx(0.5 * 0.5 / 4)
+
+    def test_empty_path_set(self):
+        assert S3kScore().aggregate_paths([]) == 0.0
+
+    def test_incremental_equals_batch(self):
+        # Property 1: prox computed layer by layer equals the aggregate.
+        score = S3kScore(gamma=1.5)
+        layers = {1: [0.3, 0.2], 2: [0.1], 3: [0.8, 0.05, 0.01]}
+        batch = score.aggregate_paths(
+            [(pp, n) for n, pps in layers.items() for pp in pps]
+        )
+        incremental = 0.0
+        for n in (1, 2, 3):
+            incremental += score.prox_increment(incremental, layers[n], n)
+        assert incremental == pytest.approx(batch)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1, allow_nan=False),
+                st.integers(min_value=1, max_value=10),
+            ),
+            max_size=30,
+        )
+    )
+    def test_aggregate_monotone_in_path_addition(self, pairs):
+        # Adding a path never decreases the proximity.
+        score = S3kScore(gamma=2.0)
+        total = score.aggregate_paths(pairs)
+        extended = score.aggregate_paths(pairs + [(0.5, 3)])
+        assert extended >= total
+
+
+class TestTailBounds:
+    def test_tail_bound_formula(self):
+        score = S3kScore(gamma=2.0)
+        assert score.prox_tail_bound(0) == pytest.approx(0.5)
+        assert score.prox_tail_bound(3) == pytest.approx(1 / 16)
+
+    def test_tail_bound_tends_to_zero(self):
+        score = S3kScore(gamma=1.25)
+        values = [score.prox_tail_bound(n) for n in range(0, 100, 10)]
+        assert all(b > a for a, b in zip(values[1:], values))
+        assert values[-1] < 1e-8
+
+    def test_tail_dominates_worst_case_mass(self):
+        # Even if the *entire* unit mass sits at length n+1, n+2, ... the
+        # bound holds: Cγ Σ_{j>n} γ^{-j} = γ^{-(n+1)}.
+        score = S3kScore(gamma=2.0)
+        for n in range(6):
+            worst = score.aggregate_paths([(1.0, j) for j in range(n + 1, 60)])
+            assert worst <= score.prox_tail_bound(n) + 1e-12
+
+    def test_unexplored_source_bound(self):
+        score = S3kScore(gamma=2.0)
+        # mass at length ≥ n: Cγ Σ_{j≥n} γ^{-j} = γ^{-n}
+        for n in range(1, 6):
+            worst = score.aggregate_paths([(1.0, j) for j in range(n, 60)])
+            assert worst <= score.unexplored_source_bound(n) + 1e-12
+
+
+class TestCombine:
+    def test_product_of_keyword_sums(self):
+        score = S3kScore(eta=0.5)
+        tuples = [
+            (0, S3_CONTAINS, 0, 0.4),  # keyword 0: 1.0 * 0.4
+            (0, S3_CONTAINS, 1, 0.2),  # keyword 0: 0.5 * 0.2
+            (1, S3_CONTAINS, 2, 0.8),  # keyword 1: 0.25 * 0.8
+        ]
+        expected = (0.4 + 0.1) * 0.2
+        assert score.combine(2, tuples) == pytest.approx(expected)
+
+    def test_missing_keyword_zeroes_score(self):
+        score = S3kScore()
+        tuples = [(0, S3_CONTAINS, 0, 0.9)]
+        assert score.combine(2, tuples) == 0.0
+
+    def test_lca_behaviour_without_social(self):
+        # With prox = 1, the LCA of two keyword occurrences beats any node
+        # containing only one of them (which scores 0) and any higher
+        # ancestor (penalized by η).
+        score = S3kScore(eta=0.5)
+        lca = score.combine(2, [(0, S3_CONTAINS, 1, 1.0), (1, S3_CONTAINS, 1, 1.0)])
+        higher = score.combine(2, [(0, S3_CONTAINS, 2, 1.0), (1, S3_CONTAINS, 2, 1.0)])
+        assert lca > higher > 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),
+                st.integers(min_value=0, max_value=5),
+                st.floats(min_value=0, max_value=1, allow_nan=False),
+            ),
+            max_size=20,
+        ),
+        st.floats(min_value=0.01, max_value=0.2),
+    )
+    def test_soundness_monotone_in_prox(self, entries, bump):
+        # Property 3: raising any proximity never lowers the score.
+        score = S3kScore()
+        base = [(k, S3_CONTAINS, d, p) for k, d, p in entries]
+        bumped = [(k, S3_CONTAINS, d, min(1.0, p + bump)) for k, d, p in entries]
+        assert score.combine(3, bumped) >= score.combine(3, base) - 1e-15
+
+
+class TestScoreBound:
+    def test_bound_dominates_any_score(self):
+        # Property 4: with all proximities ≤ B, the score is ≤ Bscore.
+        score = S3kScore(eta=0.5)
+        prox_bound = 0.3
+        tuples = [
+            (0, S3_CONTAINS, 0, 0.3),
+            (0, S3_CONTAINS, 1, 0.25),
+            (1, S3_CONTAINS, 0, 0.1),
+        ]
+        weights = [1 + 0.5, 1.0]  # per-keyword Σ η^dist bounds
+        value = score.combine(2, tuples)
+        assert value <= score.score_bound(weights, prox_bound) + 1e-12
+
+    def test_bound_tends_to_zero_with_b(self):
+        score = S3kScore()
+        values = [score.score_bound([3.0, 2.0], 10.0**-i) for i in range(1, 8)]
+        assert all(b < a for a, b in zip(values, values[1:]))
+        assert values[-1] < 1e-10
+
+    def test_bound_caps_prox_at_one(self):
+        score = S3kScore()
+        assert score.score_bound([2.0], 5.0) == pytest.approx(2.0)
+
+    def test_structural_weight(self):
+        score = S3kScore(eta=0.5)
+        assert score.structural_weight(0) == 1.0
+        assert score.structural_weight(3) == pytest.approx(0.125)

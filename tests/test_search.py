@@ -1,0 +1,198 @@
+"""Tests for the S3k algorithm: worked cases, termination, oracle agreement."""
+
+import random
+
+import pytest
+
+from repro.core import S3Instance, S3kScore, S3kSearch, exact_scores, exact_top_k
+from repro.documents import Document, build_document
+from repro.rdf import URI, Literal
+from repro.social import Tag
+
+from .fixtures import figure1_instance, two_community_instance
+from .instance_gen import VOCABULARY, random_instance
+
+
+class TestBasicSearch:
+    def test_finds_document_with_keyword(self):
+        instance = figure1_instance()
+        engine = S3kSearch(instance)
+        result = engine.search("u1", ["debate"], k=3)
+        assert URI("d0.3.2") in result.uris or URI("d0.3") in result.uris
+
+    def test_unknown_seeker_raises(self):
+        instance = figure1_instance()
+        engine = S3kSearch(instance)
+        with pytest.raises(KeyError):
+            engine.search("u:ghost", ["debate"])
+
+    def test_unknown_keyword_returns_empty_fast(self):
+        instance = figure1_instance()
+        engine = S3kSearch(instance)
+        result = engine.search("u1", ["xyzzy"], k=5)
+        assert result.results == []
+        assert result.iterations == 0
+        assert result.terminated_by == "threshold"
+
+    def test_duplicate_keywords_deduplicated(self):
+        instance = figure1_instance()
+        engine = S3kSearch(instance)
+        result = engine.search("u1", ["debate", "debate"], k=3)
+        assert result.keywords == (Literal("debate"),)
+
+    def test_results_have_consistent_bounds(self):
+        instance = figure1_instance()
+        engine = S3kSearch(instance)
+        result = engine.search("u1", ["debate"], k=3)
+        for ranked in result.results:
+            assert 0.0 <= ranked.lower <= ranked.upper
+
+    def test_no_vertical_neighbors_in_answer(self):
+        instance = figure1_instance()
+        engine = S3kSearch(instance)
+        result = engine.search("u1", ["debate"], k=5)
+        uris = result.uris
+        for i, a in enumerate(uris):
+            neighborhood = instance.vertical_neighborhood(a)
+            for b in uris[i + 1:]:
+                assert b not in neighborhood
+
+
+class TestSemanticDimension:
+    def test_extension_finds_entity_mentions(self):
+        # Query "degre": d1 mentions kb:MS which ≺sc "degre"; d2 contains
+        # the literal.  Both reachable only thanks to the extension.
+        instance = figure1_instance()
+        engine = S3kSearch(instance)
+        with_semantics = engine.search("u1", ["degre"], k=5)
+        without = engine.search("u1", ["degre"], k=5, semantic=False)
+        assert URI("d1") in with_semantics.candidate_uris
+        assert URI("d1") not in without.candidate_uris
+        assert with_semantics.extended_keyword_count > 1
+        assert without.extended_keyword_count == 1
+
+    def test_extension_never_loses_results(self):
+        instance = figure1_instance()
+        engine = S3kSearch(instance)
+        with_semantics = engine.search("u1", ["degre"], k=10)
+        without = engine.search("u1", ["degre"], k=10, semantic=False)
+        assert set(without.candidate_uris) <= set(with_semantics.candidate_uris)
+
+
+class TestSocialDimension:
+    def test_seeker_community_ranks_first(self):
+        instance = two_community_instance()
+        engine = S3kSearch(instance)
+        from_a = engine.search("u0", ["python"], k=2)
+        from_b = engine.search("u5", ["python"], k=2)
+        assert from_a.uris[0] == URI("docA")
+        assert from_b.uris[0] == URI("docB")
+
+    def test_endorsement_by_friend_boosts(self):
+        # Two identical documents posted by a stranger; the seeker's friend
+        # endorses one of them — it must win.
+        instance = S3Instance()
+        for user in ("seeker", "friend", "stranger"):
+            instance.add_user(user)
+        instance.add_social_edge("seeker", "friend", 1.0)
+        instance.add_social_edge("friend", "seeker", 1.0)
+        for name in ("liked", "ignored"):
+            instance.add_document(
+                Document(build_document(name, "post", ["topic"])),
+                posted_by="stranger",
+            )
+        instance.add_tag(Tag(URI("t:like"), URI("liked"), URI("friend")))
+        instance.saturate()
+        engine = S3kSearch(instance)
+        result = engine.search("seeker", ["topic"], k=2)
+        assert result.uris[0] == URI("liked")
+
+
+class TestTermination:
+    def test_threshold_termination_on_fixture(self):
+        instance = figure1_instance()
+        engine = S3kSearch(instance)
+        result = engine.search("u1", ["debate"], k=2)
+        assert result.terminated_by == "threshold"
+        assert result.iterations < 60
+
+    def test_anytime_iteration_budget(self):
+        instance = figure1_instance()
+        engine = S3kSearch(instance)
+        result = engine.search("u1", ["debate"], k=2, max_iterations=1)
+        assert result.iterations <= 1
+
+    def test_anytime_returns_valid_subset(self):
+        instance = figure1_instance()
+        engine = S3kSearch(instance)
+        exhaustive = engine.search("u1", ["debate"], k=3)
+        anytime = engine.search("u1", ["debate"], k=3, max_iterations=2)
+        # Anytime results are candidates with positive upper bounds.
+        for ranked in anytime.results:
+            assert ranked.upper > 0
+        assert set(exhaustive.uris)  # sanity: exhaustive found something
+
+    def test_time_budget_interrupts(self):
+        instance = figure1_instance()
+        engine = S3kSearch(instance)
+        result = engine.search("u1", ["debate"], k=2, time_budget=0.0)
+        assert result.terminated_by in ("anytime", "threshold")
+
+
+class TestMatrixNaiveEquivalence:
+    def test_same_results_both_engines(self):
+        instance = figure1_instance()
+        fast = S3kSearch(instance, use_matrix=True)
+        slow = S3kSearch(instance, use_matrix=False)
+        for keywords in (["debate"], ["degre"], ["university", "degre"]):
+            a = fast.search("u1", keywords, k=3)
+            b = slow.search("u1", keywords, k=3)
+            assert a.uris == b.uris
+            for ra, rb in zip(a.results, b.results):
+                assert ra.lower == pytest.approx(rb.lower)
+                assert ra.upper == pytest.approx(rb.upper)
+
+
+class TestOracleAgreement:
+    """S3k must return the exact top-k as computed exhaustively."""
+
+    def _check(self, instance, seeker, keywords, k):
+        engine = S3kSearch(instance)
+        result = engine.search(seeker, keywords, k=k)
+        assert result.terminated_by == "threshold"
+        expected = exact_top_k(instance, seeker, keywords, k)
+        exact = exact_scores(instance, seeker, keywords)
+        # Each returned document's exact score lies within its interval.
+        for ranked in result.results:
+            value = exact.get(ranked.uri, 0.0)
+            assert ranked.lower - 1e-9 <= value <= ranked.upper + 1e-9
+        # The returned score multiset matches the oracle's (ties may swap
+        # equal-score documents, the achievable score profile is unique).
+        got = sorted((exact.get(u, 0.0) for u in result.uris), reverse=True)
+        want = sorted((s for _, s in expected), reverse=True)
+        assert len(got) == len(want)
+        for g, w in zip(got, want):
+            assert g == pytest.approx(w, rel=1e-6, abs=1e-12)
+
+    def test_figure1_queries(self):
+        instance = figure1_instance()
+        for keywords in (["debate"], ["degre"], ["university"], ["degre", "university"]):
+            for k in (1, 3, 5):
+                self._check(instance, "u1", keywords, k)
+
+    def test_two_communities(self):
+        instance = two_community_instance()
+        for seeker in ("u0", "u2", "u5"):
+            self._check(instance, seeker, ["python"], 2)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_instances(self, seed):
+        rng = random.Random(seed)
+        instance = random_instance(rng)
+        seekers = sorted(instance.users)
+        for trial in range(3):
+            seeker = rng.choice(seekers)
+            n_kw = rng.randint(1, 2)
+            keywords = rng.sample(VOCABULARY, n_kw)
+            k = rng.choice([1, 3, 5])
+            self._check(instance, seeker, keywords, k)

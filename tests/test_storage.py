@@ -1,0 +1,109 @@
+"""Tests for the SQLite store: round trips and query equivalence."""
+
+import pytest
+
+from repro.core import S3kSearch, exact_scores
+from repro.datasets import TwitterConfig, build_twitter_instance
+from repro.rdf import URI, Literal
+from repro.storage import SQLiteStore
+
+from .fixtures import figure1_instance
+
+
+class TestRoundTrip:
+    def test_triples_survive(self):
+        instance = figure1_instance()
+        with SQLiteStore() as store:
+            store.save_instance(instance)
+            loaded = store.load_instance()
+        originals = {wt.triple for wt in instance.graph}
+        restored = {wt.triple for wt in loaded.graph}
+        assert originals <= restored
+
+    def test_weights_survive(self, tmp_path):
+        instance = figure1_instance()
+        instance.add_social_edge("u0", "u4", 0.37)
+        path = tmp_path / "s3.db"
+        with SQLiteStore(path) as store:
+            store.save_instance(instance)
+        with SQLiteStore(path) as store:
+            loaded = store.load_instance()
+        from repro.rdf import S3_SOCIAL
+
+        assert loaded.graph.weight(URI("u0"), URI(S3_SOCIAL), URI("u4")) == 0.37
+
+    def test_documents_rebuilt_with_structure(self):
+        instance = figure1_instance()
+        with SQLiteStore() as store:
+            store.save_instance(instance)
+            loaded = store.load_instance()
+        assert set(loaded.documents) == set(instance.documents)
+        original = instance.documents[URI("d0")]
+        rebuilt = loaded.documents[URI("d0")]
+        for node in original.nodes():
+            assert rebuilt.node(node.uri).dewey == node.dewey
+            assert rebuilt.node(node.uri).name == node.name
+            assert tuple(rebuilt.node(node.uri).keywords) == tuple(node.keywords)
+
+    def test_keyword_types_preserved(self):
+        # URI keywords (entity mentions) must not degrade into literals.
+        instance = figure1_instance()
+        with SQLiteStore() as store:
+            store.save_instance(instance)
+            loaded = store.load_instance()
+        node = loaded.documents[URI("d1")].node(URI("d1"))
+        assert URI("kb:MS") in node.keywords
+        assert isinstance(
+            [k for k in node.keywords if k == "kb:MS"][0], URI
+        )
+
+    def test_tags_and_comments_survive(self):
+        instance = figure1_instance()
+        with SQLiteStore() as store:
+            store.save_instance(instance)
+            loaded = store.load_instance()
+        assert set(loaded.tags) == set(instance.tags)
+        assert loaded.tags[URI("t:u4")].keyword == "university"
+        assert loaded.comments_on(URI("d0.3.2")) == [URI("d2")]
+
+    def test_users_survive(self):
+        instance = figure1_instance()
+        with SQLiteStore() as store:
+            store.save_instance(instance)
+            loaded = store.load_instance()
+        assert loaded.users == instance.users
+
+    def test_triple_count(self):
+        instance = figure1_instance()
+        with SQLiteStore() as store:
+            store.save_instance(instance)
+            assert store.triple_count() == len(instance.graph)
+
+
+class TestQueryEquivalence:
+    def test_search_results_identical_after_reload(self):
+        instance = figure1_instance()
+        with SQLiteStore() as store:
+            store.save_instance(instance)
+            loaded = store.load_instance()
+        original_engine = S3kSearch(instance)
+        loaded_engine = S3kSearch(loaded)
+        for keywords in (["debate"], ["degre"], ["degre", "university"]):
+            a = original_engine.search("u1", keywords, k=3)
+            b = loaded_engine.search("u1", keywords, k=3)
+            assert a.uris == b.uris
+
+    def test_generated_instance_round_trip(self):
+        dataset = build_twitter_instance(
+            TwitterConfig(n_users=30, n_statuses=60, seed=9)
+        )
+        instance = dataset.instance
+        with SQLiteStore() as store:
+            store.save_instance(instance)
+            loaded = store.load_instance()
+        seeker = sorted(instance.users)[0]
+        before = exact_scores(instance, seeker, [Literal("w0")])
+        after = exact_scores(loaded, seeker, [Literal("w0")])
+        assert set(before) == set(after)
+        for uri, value in before.items():
+            assert after[uri] == pytest.approx(value)
