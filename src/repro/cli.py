@@ -1,15 +1,19 @@
-"""Command-line interface: generate, search, compare.
+"""Command-line interface: generate, search, batch, compare.
 
 Usage::
 
     python -m repro generate --dataset twitter --out i1.db [--scale 0.5]
     python -m repro search   --db i1.db --seeker tw:u0 --keywords w0 w3 -k 5
+    python -m repro batch    --db i1.db --queries 64 --batch-size 32
     python -m repro compare  --db i1.db --queries 10
 
 ``generate`` builds one of the three paper-shaped instances and persists
 it to SQLite; ``search`` answers a single S3k query against a stored
-instance; ``compare`` runs the Figure 8 qualitative comparison between
-S3k and the TopkS baseline on generated workloads.
+instance; ``batch`` runs a generated workload through the batched
+``search_many`` executor and reports throughput and latency percentiles
+(optionally against the sequential baseline); ``compare`` runs the
+Figure 8 qualitative comparison between S3k and the TopkS baseline on
+generated workloads.
 """
 
 from __future__ import annotations
@@ -62,6 +66,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-semantics", action="store_true", help="disable keyword extension"
     )
 
+    batch = commands.add_parser(
+        "batch", help="run a workload through the batched executor"
+    )
+    batch.add_argument("--db", required=True, help="SQLite file from `generate`")
+    batch.add_argument("--queries", type=int, default=64)
+    batch.add_argument("--batch-size", type=int, default=32)
+    batch.add_argument("-k", type=int, default=5)
+    batch.add_argument(
+        "--frequency", choices=("+", "-"), default="+",
+        help="keyword frequency bucket of the generated workload",
+    )
+    batch.add_argument(
+        "--keywords-per-query", type=int, default=1, dest="n_keywords"
+    )
+    batch.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-query anytime budget in seconds",
+    )
+    batch.add_argument("--seed", type=int, default=0)
+    batch.add_argument(
+        "--compare-sequential", action="store_true",
+        help="also time the same workload sequentially and report speedup",
+    )
+
     compare = commands.add_parser("compare", help="S3k vs TopkS quality measures")
     compare.add_argument("--db", required=True)
     compare.add_argument("--queries", type=int, default=10)
@@ -106,6 +134,48 @@ def _search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _batch(args: argparse.Namespace) -> int:
+    import time
+
+    from .queries import run_workload, run_workload_batched, s3k_runner
+
+    with SQLiteStore(args.db) as store:
+        instance = store.load_instance()
+    engine = S3kSearch(instance)
+    builder = WorkloadBuilder(instance, seed=args.seed)
+    workload = builder.build(args.frequency, args.n_keywords, args.k, args.queries)
+
+    stats = run_workload_batched(
+        engine, workload, batch_size=args.batch_size, deadline=args.deadline
+    )
+    rows = [
+        ["queries", stats.n_queries],
+        ["batch size", stats.batch_size],
+        ["batches", len(stats.batch_times)],
+        ["throughput (q/s)", f"{stats.throughput:.1f}"],
+        ["deadline misses", stats.deadline_misses],
+    ]
+    rows.extend(
+        [f"latency {name}", f"{value * 1e3:.2f} ms"]
+        for name, value in stats.latency_summary().items()
+    )
+    if args.compare_sequential:
+        # The baseline gets the same per-query budget, so the speedup row
+        # credits batching, not the deadline.
+        runner = s3k_runner(engine, time_budget=args.deadline)
+        started = time.perf_counter()
+        run_workload(runner, workload)
+        sequential_seconds = time.perf_counter() - started
+        sequential_qps = (
+            stats.n_queries / sequential_seconds if sequential_seconds else 0.0
+        )
+        rows.append(["sequential throughput (q/s)", f"{sequential_qps:.1f}"])
+        if sequential_qps:
+            rows.append(["speedup", f"{stats.throughput / sequential_qps:.2f}x"])
+    print(format_table(["measure", "value"], rows, title=f"batched {workload.name}"))
+    return 0
+
+
 def _compare(args: argparse.Namespace) -> int:
     with SQLiteStore(args.db) as store:
         instance = store.load_instance()
@@ -130,7 +200,12 @@ def _compare(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    handlers = {"generate": _generate, "search": _search, "compare": _compare}
+    handlers = {
+        "generate": _generate,
+        "search": _search,
+        "batch": _batch,
+        "compare": _compare,
+    }
     return handlers[args.command](args)
 
 

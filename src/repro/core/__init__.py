@@ -16,6 +16,7 @@ from .prox import ProximityIndex
 from .score import FeasibleScore
 from .search import (
     Candidate,
+    QueryState,
     RankedResult,
     S3kSearch,
     SearchResult,
@@ -29,6 +30,7 @@ __all__ = [
     "SearchResult",
     "RankedResult",
     "Candidate",
+    "QueryState",
     "Component",
     "ComponentIndex",
     "ComponentConnections",

@@ -134,6 +134,10 @@ class ComponentIndex:
             return None
         return self._components[ident]
 
+    def component(self, ident: int) -> Component:
+        """The component with identifier *ident* (idents are dense)."""
+        return self._components[ident]
+
     def components(self) -> List[Component]:
         """All components."""
         return list(self._components)

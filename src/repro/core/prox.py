@@ -53,6 +53,10 @@ class ProximityIndex:
         """Dense index of *uri*; raises ``KeyError`` when unknown."""
         return self._index[uri]
 
+    def node_index_of(self, uri: URI) -> Optional[int]:
+        """Dense index of *uri*, or ``None`` when not in the universe."""
+        return self._index.get(uri)
+
     def node_uri(self, index: int) -> URI:
         return self._nodes[index]
 
@@ -115,6 +119,29 @@ class ProximityIndex:
         if self.use_matrix:
             return self._transition_t @ border
         return self._step_naive(border)
+
+    def step_many(self, borders: np.ndarray) -> np.ndarray:
+        """Advance many borders at once with a single mat-mat product.
+
+        *borders* is a ``(size, n_queries)`` array holding one exploration
+        border per column; the result has the same shape and each column
+        equals ``step(borders[:, j])`` bit for bit — scipy's CSR mat-mat
+        accumulates every output column in the same element order as the
+        corresponding mat-vec, so batched execution stays exactly
+        reproducible against sequential runs.
+        """
+        if borders.ndim != 2 or borders.shape[0] != self.size:
+            raise ValueError(
+                f"expected a ({self.size}, n) border matrix, "
+                f"got shape {borders.shape!r}"
+            )
+        if borders.shape[1] == 0:
+            return borders.copy()
+        if self.use_matrix:
+            return self._transition_t @ borders
+        return np.column_stack(
+            [self._step_naive(borders[:, j]) for j in range(borders.shape[1])]
+        )
 
     def _step_naive(self, border: np.ndarray) -> np.ndarray:
         """Pure-Python propagation (ablation / oracle)."""

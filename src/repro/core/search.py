@@ -7,17 +7,22 @@ social paths (``borderProx``, stepped by the sparse engine of
 their connected components are reached; every candidate carries a
 ``[lower, upper]`` score interval, refined as proximity accumulates, and a
 *threshold* bounds the score of every document still unexplored.  The
-search stops (Algorithm 2) when the current top-k window is free of
-vertical neighbors and no other document — candidate or unexplored — can
-beat it; an *anytime* mode instead stops on an iteration / time budget and
-returns the best candidates by upper bound.
+search stops (Algorithm 2) when the greedy top-k assembly is provably
+final — no candidate or unexplored document can change the picks; an
+*anytime* mode instead stops on an iteration / time budget and returns
+the best candidates by upper bound.
+
+Two execution modes share one code path: :meth:`S3kSearch.search`
+answers a single query, and :meth:`S3kSearch.search_many` advances a
+whole batch of :class:`QueryState` objects in lock-step over the shared
+immutable indexes, one ``T^T @ B`` mat-mat proximity step per iteration.
 """
 
 from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -48,6 +53,8 @@ class Candidate:
     #: query keyword -> [(structural distance, source)]
     connections: Dict[Term, List[Tuple[int, URI]]]
     sources: Set[URI]
+    #: Dewey identifier of the fragment, cached for neighbor checks
+    dewey: Tuple[int, ...] = ()
     lower: float = 0.0
     upper: float = math.inf
 
@@ -77,11 +84,165 @@ class SearchResult:
     components_discarded: int
     candidate_uris: Set[URI] = field(default_factory=set)
     extended_keyword_count: int = 0
+    #: Position of the query within its batch (0 for sequential queries).
+    batch_index: int = 0
+    #: Submission-to-answer latency in seconds.  Equals
+    #: ``elapsed_seconds`` for sequential queries; under batched execution
+    #: it includes the time spent advancing the other queries in lock-step,
+    #: which is what a caller waiting on this query actually observes.
+    wall_time: float = 0.0
 
     @property
     def uris(self) -> List[URI]:
         """Result URIs in rank order."""
         return [r.uri for r in self.results]
+
+
+@dataclass
+class QueryState:
+    """Per-query exploration state (Section 4), separate from the indexes.
+
+    Everything the S3k loop mutates while answering one query lives here:
+    the proximity border and its accumulated mass, the candidate set with
+    its score intervals, the unexplored-document threshold, and the
+    termination bookkeeping.  The engine itself only holds shared immutable
+    indexes, so any number of ``QueryState`` objects can be advanced
+    concurrently over the same :class:`S3kSearch` — the seam that batched
+    (and later sharded / async) execution builds on.
+    """
+
+    seeker: URI
+    keywords: Tuple[Term, ...]
+    k: int
+    semantic: bool
+    extensions: Dict[Term, Set[Term]]
+    extended_keyword_count: int
+    matching: Set[int]
+    hard_cap: int
+    time_budget: Optional[float]
+    started: float
+    batch_index: int = 0
+    # -- exploration state (None / empty until prepared) ----------------
+    border: Optional[np.ndarray] = None
+    accumulated: Optional[np.ndarray] = None
+    weight_bounds: List[float] = field(default_factory=list)
+    #: boolean mask of node indexes already reached by some path — kept as
+    #: an array so each iteration only Python-loops over the newly reached
+    #: indexes (vectorized diff against the border's nonzero pattern)
+    seen: Optional[np.ndarray] = None
+    threshold: float = math.inf
+    #: flat index layout driving the vectorized bound updates
+    layout: Optional["_BoundsLayout"] = None
+    #: True when candidates were added since the layout was (re)built
+    sources_dirty: bool = True
+    candidates: Dict[URI, Candidate] = field(default_factory=dict)
+    processed: Set[int] = field(default_factory=set)
+    candidate_uris: Set[URI] = field(default_factory=set)
+    iterations: int = 0
+    candidates_examined: int = 0
+    components_discarded: int = 0
+    terminated_by: str = "threshold"
+    done: bool = False
+
+    @property
+    def cache_key(self) -> Tuple[Tuple[Term, ...], bool]:
+        """Key under which query-independent work can be shared."""
+        return (self.keywords, self.semantic)
+
+
+class _BoundsLayout:
+    """Flat numpy layout of one query's candidate/connection structure.
+
+    Rebuilt whenever gathering adds candidates; per iteration the whole
+    ``[lower, upper]`` interval refresh then reduces to a handful of
+    vectorized operations (one source-proximity ``reduceat``, two weighted
+    gathers, per-keyword sum and per-candidate product ``reduceat``s)
+    instead of a Python loop over every connection of every candidate.
+    The element order inside every segment mirrors the original per-
+    candidate loops, so the float results are bit-identical.
+    """
+
+    __slots__ = (
+        "candidates",
+        "n_slots",
+        "nonempty",
+        "source_concat",
+        "source_offsets",
+        "conn_src",
+        "conn_weight",
+        "kw_offsets",
+        "cand_offsets",
+    )
+
+    def __init__(self) -> None:
+        self.candidates: List[Candidate] = []
+        self.n_slots = 0
+        self.nonempty: Optional[np.ndarray] = None
+        self.source_concat: Optional[np.ndarray] = None
+        self.source_offsets: Optional[np.ndarray] = None
+        self.conn_src: Optional[np.ndarray] = None
+        self.conn_weight: Optional[np.ndarray] = None
+        self.kw_offsets: Optional[np.ndarray] = None
+        self.cand_offsets: Optional[np.ndarray] = None
+
+
+class _BatchCache:
+    """Memoization shared by the queries of one batch.
+
+    Everything cached here depends only on the immutable indexes and the
+    (keywords, semantic) pair — never on the seeker — so queries in a
+    batch that repeat keywords (the common case under heavy traffic) share
+    the keyword extension, the component matching, the per-keyword weight
+    bounds and, most importantly, the connection fixpoints gathered per
+    component.
+    """
+
+    def __init__(self) -> None:
+        #: (keywords, semantic) -> extensions mapping
+        self.extensions: Dict[Tuple, Dict[Term, Set[Term]]] = {}
+        #: (keywords, semantic) -> matching component idents
+        self.matching: Dict[Tuple, Set[int]] = {}
+        #: (keywords, semantic) -> per-keyword weight bounds
+        self.weight_bounds: Dict[Tuple, List[float]] = {}
+        #: (component ident, (keywords, semantic)) -> candidate templates
+        self.component_candidates: Dict[Tuple, List[Tuple]] = {}
+
+
+def _normalize_keywords(keywords: Sequence[object]) -> Tuple[Term, ...]:
+    """Keywords as deduplicated terms, exactly as ``_prepare_query`` sees
+    them — the coalescing key for identical in-flight queries."""
+    terms: List[Term] = []
+    for keyword in keywords:
+        term = keyword if isinstance(keyword, URI) else coerce_term(keyword)
+        if term not in terms:
+            terms.append(term)
+    return tuple(terms)
+
+
+def _coerce_query(query: object, default_k: int) -> Tuple[object, Sequence[object], int]:
+    """Normalize a batch element to ``(seeker, keywords, k)``.
+
+    Accepts ``(seeker, keywords)`` / ``(seeker, keywords, k)`` tuples and
+    QuerySpec-like objects with ``seeker`` / ``keywords`` / optional ``k``
+    attributes.
+    """
+    if hasattr(query, "seeker") and hasattr(query, "keywords"):
+        return (
+            getattr(query, "seeker"),
+            getattr(query, "keywords"),
+            int(getattr(query, "k", default_k) or default_k),
+        )
+    if isinstance(query, (tuple, list)):
+        if len(query) == 2:
+            seeker, keywords = query
+            return seeker, keywords, default_k
+        if len(query) == 3:
+            seeker, keywords, query_k = query
+            return seeker, keywords, int(query_k)
+    raise TypeError(
+        "batch queries must be (seeker, keywords[, k]) tuples or objects "
+        f"with seeker/keywords attributes, got {query!r}"
+    )
 
 
 class S3kSearch:
@@ -130,6 +291,21 @@ class S3kSearch:
                 1 for node in component.nodes if self.instance.comments_on(node)
             )
             self._component_stats[component.ident] = (n_tags, n_roots, n_targets)
+        # Dense map: proximity index -> component ident (-1 for users and
+        # other non-document, non-tag vertices).  Lets the per-iteration
+        # discovery classify newly reached nodes with one vectorized lookup
+        # instead of per-node dict probes.  Built by walking the component
+        # members (document nodes + tags), not the full node universe.
+        self._index_component = np.full(self.prox_index.size, -1, dtype=np.int64)
+        for component in self.component_index.components():
+            for uri in component.nodes:
+                index = self.prox_index.node_index_of(uri)
+                if index is not None:
+                    self._index_component[index] = component.ident
+            for uri in component.tags:
+                index = self.prox_index.node_index_of(uri)
+                if index is not None:
+                    self._index_component[index] = component.ident
 
     # ------------------------------------------------------------------
     # Query-time helpers
@@ -190,29 +366,66 @@ class S3kSearch:
             bounds.append(best)
         return bounds
 
-    def _gather_candidates(
+    def _candidate_templates(
         self,
         component: Component,
         extensions: Dict[Term, Set[Term]],
-        candidates: Dict[URI, Candidate],
-    ) -> int:
-        """Run the connection fixpoint on *component*, add its candidates."""
+        cache: Optional[_BatchCache] = None,
+        cache_key: Optional[Tuple] = None,
+    ) -> List[Tuple]:
+        """Query-independent candidate data for one matching component.
+
+        Runs the connection fixpoint and resolves, per candidate document,
+        its root, depth, per-keyword connections and source set — none of
+        which depend on the seeker, so the result is shared across a batch
+        via *cache* (keyed by component and extended keyword set).
+        """
+        if cache is not None and cache_key is not None:
+            cached = cache.component_candidates.get((component.ident, cache_key))
+            if cached is not None:
+                return cached
         connections_index = ComponentConnections(self.instance, component, extensions)
-        added = 0
+        templates: List[Tuple] = []
         for candidate_uri in connections_index.candidate_documents():
-            if candidate_uri in candidates:
-                continue
             document = self.instance.document_of(candidate_uri)
+            node = document.node(candidate_uri)
             per_keyword: Dict[Term, List[Tuple[int, URI]]] = {}
             sources: Set[URI] = set()
             for keyword in extensions:
                 resolved = connections_index.connections(candidate_uri, keyword)
                 per_keyword[keyword] = [(c.distance, c.source) for c in resolved]
                 sources.update(c.source for c in resolved)
+            templates.append(
+                (candidate_uri, document.uri, node.depth, node.dewey, per_keyword, sources)
+            )
+        if cache is not None and cache_key is not None:
+            cache.component_candidates[(component.ident, cache_key)] = templates
+        return templates
+
+    def _gather_candidates(
+        self,
+        component: Component,
+        extensions: Dict[Term, Set[Term]],
+        candidates: Dict[URI, Candidate],
+        cache: Optional[_BatchCache] = None,
+        cache_key: Optional[Tuple] = None,
+    ) -> int:
+        """Add *component*'s candidates; fixpoint shared through *cache*.
+
+        The :class:`Candidate` objects themselves are always fresh (their
+        score intervals are per-query state) but their ``connections`` and
+        ``sources`` payloads are immutable and may be shared batch-wide.
+        """
+        templates = self._candidate_templates(component, extensions, cache, cache_key)
+        added = 0
+        for candidate_uri, root, depth, dewey, per_keyword, sources in templates:
+            if candidate_uri in candidates:
+                continue
             candidates[candidate_uri] = Candidate(
                 uri=candidate_uri,
-                root=document.uri,
-                depth=document.node(candidate_uri).depth,
+                root=root,
+                depth=depth,
+                dewey=dewey,
                 connections=per_keyword,
                 sources=sources,
             )
@@ -222,33 +435,89 @@ class S3kSearch:
     # ------------------------------------------------------------------
     # Bounds
     # ------------------------------------------------------------------
-    def _update_bounds(
-        self,
-        candidates: Dict[URI, Candidate],
-        accumulated: np.ndarray,
-        tail_bound: float,
-    ) -> None:
-        score = self.score
-        source_prox: Dict[URI, float] = {}
-        for candidate in candidates.values():
-            for source in candidate.sources:
-                if source not in source_prox:
-                    source_prox[source] = self.prox_index.source_proximity(
-                        accumulated, source
-                    )
-        for candidate in candidates.values():
-            lower = 1.0
-            upper = 1.0
+    def _refresh_bounds_layout(self, state: QueryState) -> None:
+        """(Re)build the flat index layout for the state's candidate set.
+
+        Only rebuilt when gathering added candidates; candidates removed
+        by cleaning merely leave harmless extra segments behind until the
+        next rebuild.  A candidate with an empty connection list for some
+        keyword has a constant ``[0, 0]`` interval (the score is a product
+        over keywords), so it is settled here and skipped per iteration.
+        """
+        layout = _BoundsLayout()
+        structural_weight = self.score.structural_weight
+        slot_of: Dict[URI, int] = {}
+        parts: List[np.ndarray] = []
+        source_offsets: List[int] = []
+        nonempty: List[int] = []
+        conn_src: List[int] = []
+        conn_weight: List[float] = []
+        kw_offsets: List[int] = []
+        cand_offsets: List[int] = []
+        total = 0
+        for candidate in state.candidates.values():
+            if any(not conns for conns in candidate.connections.values()):
+                candidate.lower = 0.0
+                candidate.upper = 0.0
+                continue
+            layout.candidates.append(candidate)
+            cand_offsets.append(len(kw_offsets))
             for connections in candidate.connections.values():
-                lower_sum = 0.0
-                upper_sum = 0.0
+                kw_offsets.append(len(conn_src))
                 for distance, source in connections:
-                    weight = score.structural_weight(distance)
-                    prox = source_prox[source]
-                    lower_sum += weight * prox
-                    upper_sum += weight * min(1.0, prox + tail_bound)
-                lower *= lower_sum
-                upper *= upper_sum
+                    slot = slot_of.get(source)
+                    if slot is None:
+                        slot = len(slot_of)
+                        slot_of[source] = slot
+                        indices = self.prox_index.closed_neighborhood_indices(source)
+                        if indices.size:
+                            nonempty.append(slot)
+                            source_offsets.append(total)
+                            parts.append(indices)
+                            total += indices.size
+                    conn_src.append(slot)
+                    conn_weight.append(structural_weight(distance))
+        layout.n_slots = len(slot_of)
+        layout.nonempty = np.asarray(nonempty, dtype=np.intp)
+        layout.source_concat = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        )
+        layout.source_offsets = np.asarray(source_offsets, dtype=np.intp)
+        layout.conn_src = np.asarray(conn_src, dtype=np.intp)
+        layout.conn_weight = np.asarray(conn_weight, dtype=np.float64)
+        layout.kw_offsets = np.asarray(kw_offsets, dtype=np.intp)
+        layout.cand_offsets = np.asarray(cand_offsets, dtype=np.intp)
+        state.layout = layout
+        state.sources_dirty = False
+
+    def _update_bounds(self, state: QueryState, tail_bound: float) -> None:
+        """Refresh every candidate's ``[lower, upper]`` score interval.
+
+        ``lower`` uses the accumulated (≤ n-step) source proximities;
+        ``upper`` additionally grants every source the remaining proximity
+        tail.  All sums/products run over the same elements in the same
+        order as the straightforward per-candidate loops, via ``reduceat``.
+        """
+        if state.sources_dirty:
+            self._refresh_bounds_layout(state)
+        layout = state.layout
+        if layout is None or not layout.candidates:
+            return
+        prox = np.zeros(layout.n_slots, dtype=np.float64)
+        if layout.source_concat.size:
+            prox[layout.nonempty] = np.add.reduceat(
+                state.accumulated[layout.source_concat], layout.source_offsets
+            )
+        conn_prox = prox[layout.conn_src]
+        lower_terms = layout.conn_weight * conn_prox
+        upper_terms = layout.conn_weight * np.minimum(1.0, conn_prox + tail_bound)
+        lower_sums = np.add.reduceat(lower_terms, layout.kw_offsets)
+        upper_sums = np.add.reduceat(upper_terms, layout.kw_offsets)
+        lowers = np.multiply.reduceat(lower_sums, layout.cand_offsets)
+        uppers = np.multiply.reduceat(upper_sums, layout.cand_offsets)
+        for candidate, lower, upper in zip(
+            layout.candidates, lowers.tolist(), uppers.tolist()
+        ):
             candidate.lower = lower
             candidate.upper = upper
 
@@ -258,10 +527,11 @@ class S3kSearch:
     def _are_vertical_neighbors(self, a: Candidate, b: Candidate) -> bool:
         if a.root != b.root:
             return False
-        document = self.instance.documents[a.root]
-        dewey_a = document.node(a.uri).dewey
-        dewey_b = document.node(b.uri).dewey
-        shorter, longer = sorted((dewey_a, dewey_b), key=len)
+        dewey_a, dewey_b = a.dewey, b.dewey
+        if len(dewey_a) <= len(dewey_b):
+            shorter, longer = dewey_a, dewey_b
+        else:
+            shorter, longer = dewey_b, dewey_a
         return longer[: len(shorter)] == shorter
 
     def _clean_candidates(
@@ -294,7 +564,16 @@ class S3kSearch:
                 if c.upper < kth_lower - TIE_EPSILON
             ]:
                 del candidates[uri]
-        # (ii) candidates dominated by a vertical neighbor.
+        # (ii) candidates dominated by a vertical neighbor.  Removal is
+        # only sound when the dominator is a DESCENDANT: every candidate
+        # that could exclude the descendant from the answer (its vertical
+        # neighbors — nodes on its root path or in its subtree) is then
+        # also a vertical neighbor of the ancestor, so whenever the
+        # descendant is out, the ancestor is out too.  An ancestor
+        # dominating a child gives no such guarantee — the ancestor may
+        # itself be excluded by a pick from a disjoint subtree, leaving
+        # the child eligible — so those pairs are left to the stop
+        # condition's certainty check.
         by_root: Dict[URI, List[Candidate]] = {}
         for candidate in candidates.values():
             by_root.setdefault(candidate.root, []).append(candidate)
@@ -307,14 +586,14 @@ class S3kSearch:
                 for b in group[i + 1 :]:
                     if not self._are_vertical_neighbors(a, b):
                         continue
-                    if a.upper < b.lower - TIE_EPSILON:
-                        to_remove.add(a.uri)
-                    elif b.upper < a.lower - TIE_EPSILON:
-                        to_remove.add(b.uri)
+                    shallow, deep = (a, b) if a.depth <= b.depth else (b, a)
+                    if shallow.upper < deep.lower - TIE_EPSILON:
+                        # Dominated by a descendant: provably excluded.
+                        to_remove.add(shallow.uri)
                     elif converged and abs(a.upper - b.upper) <= TIE_EPSILON:
                         # Breakable tie (Theorem 4.2): keep the deeper,
                         # more specific fragment.
-                        to_remove.add(a.uri if a.depth <= b.depth else b.uri)
+                        to_remove.add(shallow.uri)
         for uri in to_remove:
             candidates.pop(uri, None)
 
@@ -322,25 +601,241 @@ class S3kSearch:
     # Stop condition (Algorithm 2)
     # ------------------------------------------------------------------
     def _stop_condition(
-        self, ordered: List[Candidate], k: int, threshold: float
+        self,
+        ordered: List[Candidate],
+        k: int,
+        threshold: float,
+        tail_bound: float,
     ) -> bool:
-        if not ordered:
-            return threshold <= TIE_EPSILON
-        top = ordered[:k]
-        for i, a in enumerate(top):
-            for b in top[i + 1 :]:
-                if self._are_vertical_neighbors(a, b):
-                    return False
-        min_top_lower = min(c.lower for c in top)
-        next_upper = ordered[k].upper if len(ordered) > k else 0.0
-        if len(ordered) < k:
-            # Fewer candidates than requested: stop once no unexplored
+        """True when the greedy top-k assembly is provably final.
+
+        Replays :meth:`_assemble`'s greedy pick over *ordered* (sorted by
+        ``(-upper, -depth, uri)``) and certifies that the exact-score
+        greedy of Definition 3.2 must take the same picks:
+
+        * a candidate skipped for conflicting with a pick must certainly
+          rank below its excluder (``upper <= excluder.lower``), or tie
+          with it at convergence (then the tie-break keeps the excluder);
+        * once the answer is full, the best unpicked, non-conflicting
+          candidate must certainly rank below every pick;
+        * the unexplored-document threshold must not beat the answer.
+        """
+        converged = tail_bound < TIE_EPSILON
+        picked: List[Candidate] = []
+        min_top_lower = math.inf
+        for candidate in ordered:
+            if candidate.upper <= 0.0:
+                continue
+            excluder = next(
+                (
+                    pick
+                    for pick in picked
+                    if self._are_vertical_neighbors(candidate, pick)
+                ),
+                None,
+            )
+            if excluder is not None:
+                if candidate.upper <= excluder.lower + TIE_EPSILON:
+                    continue
+                if converged and abs(candidate.upper - excluder.upper) <= TIE_EPSILON:
+                    continue
+                return False
+            if len(picked) < k:
+                picked.append(candidate)
+                min_top_lower = min(min_top_lower, candidate.lower)
+                continue
+            # Would-be (k+1)-th pick: every remaining candidate has an
+            # upper bound no larger than this one, so certainty for it
+            # certifies the rest.
+            if candidate.upper > min_top_lower + TIE_EPSILON:
+                return False
+            break
+        if len(picked) < k:
+            # Fewer answers than requested: stop once no unexplored
             # document can join the answer.
             return threshold <= TIE_EPSILON
-        return max(next_upper, threshold) <= min_top_lower + TIE_EPSILON
+        return threshold <= min_top_lower + TIE_EPSILON
 
     # ------------------------------------------------------------------
-    # Main entry point
+    # Query lifecycle: prepare -> (check / step)* -> finish
+    # ------------------------------------------------------------------
+    def _prepare_query(
+        self,
+        seeker: object,
+        keywords: Sequence[object],
+        k: int = 5,
+        semantic: bool = True,
+        max_iterations: Optional[int] = None,
+        time_budget: Optional[float] = None,
+        batch_index: int = 0,
+        cache: Optional[_BatchCache] = None,
+    ) -> QueryState:
+        """Build the initial :class:`QueryState` for one query.
+
+        Resolves the seeker, dedupes and extends the keywords, computes
+        the matching components and weight bounds (all shareable through
+        *cache*), and seeds the proximity border on the seeker.  Queries
+        with no matching component are born ``done``.
+        """
+        started = time.perf_counter()
+        seeker_uri = URI(seeker)
+        if seeker_uri not in self.instance.users:
+            raise KeyError(f"unknown seeker: {seeker_uri}")
+        query_terms = _normalize_keywords(keywords)
+        key = (query_terms, semantic)
+
+        extensions: Optional[Dict[Term, Set[Term]]] = None
+        if cache is not None:
+            extensions = cache.extensions.get(key)
+        if extensions is None:
+            if semantic:
+                extensions = extend_query(self.instance, query_terms)
+            else:
+                extensions = {term: {term} for term in query_terms}
+            if cache is not None:
+                cache.extensions[key] = extensions
+
+        matching: Optional[Set[int]] = None
+        if cache is not None:
+            matching = cache.matching.get(key)
+        if matching is None:
+            matching = self._matching_components(extensions)
+            if cache is not None:
+                cache.matching[key] = matching
+
+        state = QueryState(
+            seeker=seeker_uri,
+            keywords=query_terms,
+            k=k,
+            semantic=semantic,
+            extensions=extensions,
+            extended_keyword_count=sum(len(ext) for ext in extensions.values()),
+            matching=matching,
+            hard_cap=(
+                max_iterations if max_iterations is not None else DEFAULT_MAX_ITERATIONS
+            ),
+            time_budget=time_budget,
+            started=started,
+            batch_index=batch_index,
+        )
+        if matching:
+            weight_bounds: Optional[List[float]] = None
+            if cache is not None:
+                weight_bounds = cache.weight_bounds.get(key)
+            if weight_bounds is None:
+                weight_bounds = self._keyword_weight_bounds(extensions, matching)
+                if cache is not None:
+                    cache.weight_bounds[key] = weight_bounds
+            state.weight_bounds = weight_bounds
+            state.border = self.prox_index.start_vector(seeker_uri)
+            state.accumulated = np.zeros(self.prox_index.size, dtype=np.float64)
+            state.accumulated[self.prox_index.node_index(seeker_uri)] = (
+                self.score.c_gamma
+            )
+            state.seen = state.border != 0
+        else:
+            state.done = True
+        return state
+
+    def _check_stop(self, state: QueryState) -> bool:
+        """Algorithm 2's pre-step check; sets ``terminated_by`` / ``done``."""
+        if state.done:
+            return True
+        ordered = sorted(
+            state.candidates.values(), key=lambda c: (-c.upper, -c.depth, c.uri)
+        )
+        tail_bound = self.score.prox_tail_bound(state.iterations)
+        if self._stop_condition(ordered, state.k, state.threshold, tail_bound):
+            state.terminated_by = "threshold"
+            state.done = True
+        elif state.iterations >= state.hard_cap:
+            state.terminated_by = "anytime"
+            state.done = True
+        elif (
+            state.time_budget is not None
+            and time.perf_counter() - state.started > state.time_budget
+        ):
+            state.terminated_by = "anytime"
+            state.done = True
+        return state.done
+
+    def _absorb_step(
+        self,
+        state: QueryState,
+        cache: Optional[_BatchCache] = None,
+        reached: Optional[np.ndarray] = None,
+    ) -> None:
+        """Fold one already-propagated border back into *state*.
+
+        The caller has already advanced ``state.border`` /
+        ``state.accumulated`` — per query through
+        :meth:`ProximityIndex.step` (sequential) or for a whole batch at
+        once through :meth:`ProximityIndex.step_many` (batched);
+        everything here is per-query work, identical in both modes.
+        *reached* is the border's nonzero mask when the caller already
+        computed it batch-wide.
+        """
+        state.iterations += 1
+        n = state.iterations
+
+        if reached is None:
+            reached = state.border != 0
+        fresh = np.flatnonzero(reached & ~state.seen)
+        state.seen |= reached
+        if fresh.size:
+            idents = self._index_component[fresh]
+            for ident in np.unique(idents[idents >= 0]).tolist():
+                if ident in state.processed:
+                    continue
+                state.processed.add(ident)
+                if ident in state.matching:
+                    added = self._gather_candidates(
+                        self.component_index.component(ident),
+                        state.extensions,
+                        state.candidates,
+                        cache=cache,
+                        cache_key=state.cache_key,
+                    )
+                    state.candidates_examined += added
+                    if added:
+                        state.sources_dirty = True
+                else:
+                    state.components_discarded += 1
+
+        if state.matching <= state.processed:
+            state.threshold = 0.0
+        else:
+            state.threshold = self.score.score_bound(
+                state.weight_bounds, self.score.unexplored_source_bound(n)
+            )
+        tail_bound = self.score.prox_tail_bound(n)
+        self._update_bounds(state, tail_bound)
+        state.candidate_uris.update(state.candidates.keys())
+        self._clean_candidates(state.candidates, state.k, tail_bound)
+
+    def _finish(self, state: QueryState) -> SearchResult:
+        """Assemble the top-k answer and timing of a finished query."""
+        results = self._assemble(state.candidates, state.k)
+        wall_time = time.perf_counter() - state.started
+        return SearchResult(
+            seeker=state.seeker,
+            keywords=state.keywords,
+            k=state.k,
+            results=results,
+            iterations=state.iterations,
+            terminated_by=state.terminated_by,
+            elapsed_seconds=wall_time,
+            candidates_examined=state.candidates_examined,
+            components_processed=len(state.processed),
+            components_discarded=state.components_discarded,
+            candidate_uris=state.candidate_uris,
+            extended_keyword_count=state.extended_keyword_count,
+            batch_index=state.batch_index,
+            wall_time=wall_time,
+        )
+
+    # ------------------------------------------------------------------
+    # Main entry points
     # ------------------------------------------------------------------
     def search(
         self,
@@ -357,103 +852,114 @@ class S3kSearch:
         semantic-reachability measure of Section 5.4).  *max_iterations* /
         *time_budget* activate the anytime termination of Section 4.1.
         """
-        started = time.perf_counter()
-        seeker_uri = URI(seeker)
-        if seeker_uri not in self.instance.users:
-            raise KeyError(f"unknown seeker: {seeker_uri}")
-        query_terms: List[Term] = []
-        for keyword in keywords:
-            term = keyword if isinstance(keyword, URI) else coerce_term(keyword)
-            if term not in query_terms:
-                query_terms.append(term)
-        if semantic:
-            extensions = extend_query(self.instance, query_terms)
-        else:
-            extensions = {term: {term} for term in query_terms}
-        extended_count = sum(len(ext) for ext in extensions.values())
-
-        matching = self._matching_components(extensions)
-        hard_cap = max_iterations if max_iterations is not None else DEFAULT_MAX_ITERATIONS
-
-        candidates: Dict[URI, Candidate] = {}
-        processed: Set[int] = set()
-        discarded = 0
-        examined = 0
-        candidate_uris: Set[URI] = set()
-        terminated_by = "threshold"
-        n = 0
-
-        if matching:
-            weight_bounds = self._keyword_weight_bounds(extensions, matching)
-            border = self.prox_index.start_vector(seeker_uri)
-            accumulated = np.zeros(self.prox_index.size, dtype=np.float64)
-            accumulated[self.prox_index.node_index(seeker_uri)] = self.score.c_gamma
-            seen = set(np.nonzero(border)[0].tolist())
-            threshold = math.inf
-
-            while True:
-                ordered = sorted(
-                    candidates.values(), key=lambda c: (-c.upper, -c.depth, c.uri)
-                )
-                if self._stop_condition(ordered, k, threshold):
-                    terminated_by = "threshold"
-                    break
-                if n >= hard_cap:
-                    terminated_by = "anytime"
-                    break
-                if time_budget is not None and time.perf_counter() - started > time_budget:
-                    terminated_by = "anytime"
-                    break
-
-                n += 1
-                border = self.prox_index.step(border) / self.score.gamma
-                accumulated += self.score.c_gamma * border
-
-                for index in np.nonzero(border)[0].tolist():
-                    if index in seen:
-                        continue
-                    seen.add(index)
-                    uri = self.prox_index.node_uri(index)
-                    if not (
-                        self.instance.is_document_node(uri) or self.instance.is_tag(uri)
-                    ):
-                        continue
-                    component = self.component_index.component_of(uri)
-                    if component is None or component.ident in processed:
-                        continue
-                    processed.add(component.ident)
-                    if component.ident in matching:
-                        added = self._gather_candidates(component, extensions, candidates)
-                        examined += added
-                    else:
-                        discarded += 1
-
-                if matching <= processed:
-                    threshold = 0.0
-                else:
-                    threshold = self.score.score_bound(
-                        weight_bounds, self.score.unexplored_source_bound(n)
-                    )
-                tail_bound = self.score.prox_tail_bound(n)
-                self._update_bounds(candidates, accumulated, tail_bound)
-                candidate_uris.update(candidates.keys())
-                self._clean_candidates(candidates, k, tail_bound)
-
-        results = self._assemble(candidates, k)
-        return SearchResult(
-            seeker=seeker_uri,
-            keywords=tuple(query_terms),
+        state = self._prepare_query(
+            seeker,
+            keywords,
             k=k,
-            results=results,
-            iterations=n,
-            terminated_by=terminated_by,
-            elapsed_seconds=time.perf_counter() - started,
-            candidates_examined=examined,
-            components_processed=len(processed),
-            components_discarded=discarded,
-            candidate_uris=candidate_uris,
-            extended_keyword_count=extended_count,
+            semantic=semantic,
+            max_iterations=max_iterations,
+            time_budget=time_budget,
         )
+        while not self._check_stop(state):
+            state.border = self.prox_index.step(state.border) / self.score.gamma
+            state.accumulated += self.score.c_gamma * state.border
+            self._absorb_step(state)
+        return self._finish(state)
+
+    def search_many(
+        self,
+        queries: Sequence[object],
+        k: int = 5,
+        semantic: bool = True,
+        max_iterations: Optional[int] = None,
+        time_budget: Optional[float] = None,
+    ) -> List[SearchResult]:
+        """Answer many queries concurrently, advancing them in lock-step.
+
+        Each element of *queries* is a ``(seeker, keywords)`` or
+        ``(seeker, keywords, k)`` tuple, or any object with ``seeker`` /
+        ``keywords`` (and optionally ``k``) attributes, e.g. a
+        :class:`repro.queries.workload.QuerySpec`.  The default *k*,
+        *semantic*, *max_iterations* and per-query *time_budget* apply to
+        every query that does not carry its own ``k``.
+
+        Every iteration stacks the borders of all still-active queries
+        into one matrix and replaces N sparse mat-vec products with a
+        single ``T^T @ B`` mat-mat product
+        (:meth:`ProximityIndex.step_many`); a query's column is retired
+        from the batch the moment its threshold stop (or anytime budget)
+        fires.  Query-independent work — keyword extension, component
+        matching, weight bounds and per-component connection fixpoints —
+        is computed once per distinct keyword set and shared across the
+        batch, and identical in-flight queries (same seeker, keywords and
+        k — hot queries under heavy traffic) are coalesced into a single
+        exploration.  Results are returned in input order and are
+        bit-identical to running :meth:`search` on each query separately.
+        """
+        cache = _BatchCache()
+        unique_states: Dict[Tuple, QueryState] = {}
+        assignment: List[Tuple] = []
+        for batch_index, query in enumerate(queries):
+            seeker, keywords, query_k = _coerce_query(query, k)
+            key = (URI(seeker), _normalize_keywords(keywords), query_k)
+            assignment.append(key)
+            if key not in unique_states:
+                unique_states[key] = self._prepare_query(
+                    seeker,
+                    keywords,
+                    k=query_k,
+                    semantic=semantic,
+                    max_iterations=max_iterations,
+                    time_budget=time_budget,
+                    batch_index=batch_index,
+                    cache=cache,
+                )
+
+        states = list(unique_states.values())
+        active = [state for state in states if not self._check_stop(state)]
+        borders: Optional[np.ndarray] = None
+        while active:
+            if borders is None:
+                borders = np.column_stack([state.border for state in active])
+            stepped = self.prox_index.step_many(borders)
+            stepped /= self.score.gamma
+            deltas = self.score.c_gamma * stepped
+            # One transposed comparison gives every query's reached mask as
+            # a contiguous row (column slices of the C-ordered stepped
+            # matrix would be strided and slow to scan).
+            reached_rows = stepped.T != 0
+            for column, state in enumerate(active):
+                state.border = stepped[:, column]
+                state.accumulated += deltas[:, column]
+                self._absorb_step(state, cache=cache, reached=reached_rows[column])
+            keep = [
+                column
+                for column, state in enumerate(active)
+                if not self._check_stop(state)
+            ]
+            if len(keep) == len(active):
+                # Nobody retired: the stepped matrix simply becomes the next
+                # border matrix, with no per-iteration re-stacking.
+                borders = stepped
+            else:
+                kept = set(keep)
+                for column, state in enumerate(active):
+                    if column not in kept:
+                        # A retired border is never read again; dropping the
+                        # view releases this iteration's stepped matrix.
+                        state.border = None
+                active = [active[column] for column in keep]
+                borders = np.ascontiguousarray(stepped[:, keep]) if active else None
+
+        finished = {key: self._finish(state) for key, state in unique_states.items()}
+        results: List[SearchResult] = []
+        for batch_index, key in enumerate(assignment):
+            primary = finished[key]
+            if primary.batch_index == batch_index:
+                results.append(primary)
+            else:
+                results.append(replace(primary, batch_index=batch_index))
+        return results
 
     # ------------------------------------------------------------------
     def _assemble(self, candidates: Dict[URI, Candidate], k: int) -> List[RankedResult]:

@@ -8,7 +8,12 @@ from .measures import (
     semantic_reachability,
     spearman_footrule,
 )
-from .reporting import format_paper_comparison, format_table
+from .reporting import (
+    format_latency_table,
+    format_paper_comparison,
+    format_table,
+    latency_percentiles,
+)
 
 __all__ = [
     "ComparisonReport",
@@ -20,4 +25,6 @@ __all__ = [
     "spearman_footrule",
     "format_table",
     "format_paper_comparison",
+    "format_latency_table",
+    "latency_percentiles",
 ]

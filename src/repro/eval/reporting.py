@@ -1,8 +1,54 @@
-"""Plain-text table rendering for the benchmark harness output."""
+"""Plain-text table rendering and latency aggregation for the harness."""
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Sequence
+
+#: Percentiles reported for batched-execution latency distributions.
+DEFAULT_PERCENTILES = (50.0, 90.0, 95.0, 99.0)
+
+
+def latency_percentiles(
+    times: Sequence[float], percentiles: Sequence[float] = DEFAULT_PERCENTILES
+) -> Dict[str, float]:
+    """Latency distribution summary of *times* (seconds).
+
+    Returns ``{"mean": …, "p50": …, "p90": …, …, "max": …}`` using the
+    nearest-rank method — under heavy traffic the tail percentiles, not
+    the mean, are what a latency SLO constrains, so batched runs report
+    the full distribution instead of only per-query means.
+    """
+    if not times:
+        return {"mean": 0.0, "max": 0.0, **{_p_name(p): 0.0 for p in percentiles}}
+    ordered = sorted(times)
+    summary: Dict[str, float] = {"mean": sum(ordered) / len(ordered)}
+    for p in percentiles:
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        summary[_p_name(p)] = ordered[rank - 1]
+    summary["max"] = ordered[-1]
+    return summary
+
+
+def _p_name(percentile: float) -> str:
+    value = int(percentile) if float(percentile).is_integer() else percentile
+    return f"p{value}"
+
+
+def format_latency_table(
+    rows: Dict[str, Sequence[float]], title: str = ""
+) -> str:
+    """One latency-percentile row (in milliseconds) per labelled series."""
+    summaries = {label: latency_percentiles(times) for label, times in rows.items()}
+    names = sorted(
+        {name for summary in summaries.values() for name in summary},
+        key=lambda name: (name != "mean", name == "max", name),
+    )
+    table = [
+        [label, *(f"{summary[name] * 1e3:.2f}" for name in names)]
+        for label, summary in summaries.items()
+    ]
+    return format_table(["series", *(f"{n} (ms)" for n in names)], table, title=title)
 
 
 def format_table(

@@ -1,6 +1,13 @@
-"""Query workloads and timing harness (Section 5.1)."""
+"""Query workloads and timing harness (Section 5.1), sequential + batched."""
 
-from .runner import TimingSummary, run_workload, s3k_runner, topks_runner
+from .runner import (
+    BatchStats,
+    TimingSummary,
+    run_workload,
+    run_workload_batched,
+    s3k_runner,
+    topks_runner,
+)
 from .workload import (
     QuerySpec,
     Workload,
@@ -18,7 +25,9 @@ __all__ = [
     "frequency_buckets",
     "connected_seekers",
     "TimingSummary",
+    "BatchStats",
     "run_workload",
+    "run_workload_batched",
     "s3k_runner",
     "topks_runner",
 ]

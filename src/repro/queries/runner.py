@@ -1,12 +1,26 @@
-"""Workload execution and timing summaries (for Figures 5-7)."""
+"""Workload execution and timing summaries (for Figures 5-7).
+
+Two execution modes share the timing machinery:
+
+* **sequential** (:func:`run_workload`) — one query at a time through any
+  runner callable, as in the paper's experiments;
+* **batched** (:func:`run_workload_batched`) — slices of the workload go
+  through :meth:`S3kSearch.search_many`, which advances all queries of a
+  batch in lock-step over one stacked mat-mat proximity step.  The
+  per-batch statistics keep both the per-query submission-to-answer
+  latencies (what a waiting caller observes) and the per-batch wall times
+  (what sizes the serving capacity), summarized as percentiles via
+  :func:`repro.eval.reporting.latency_percentiles`.
+"""
 
 from __future__ import annotations
 
 import statistics
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
+from ..eval.reporting import latency_percentiles
 from .workload import QuerySpec, Workload
 
 
@@ -52,6 +66,74 @@ def run_workload(
         run_query(spec)
         summary.times.append(time.perf_counter() - started)
     return summary
+
+
+@dataclass
+class BatchStats:
+    """Aggregate outcome of a batched workload run."""
+
+    name: str
+    batch_size: int
+    #: per-query submission-to-answer latency, seconds (input order)
+    query_latencies: List[float] = field(default_factory=list)
+    #: wall time of each ``search_many`` call, seconds
+    batch_times: List[float] = field(default_factory=list)
+    #: queries whose submission-to-answer latency exceeded the deadline —
+    #: the caller-observed SLO miss count, independent of why the
+    #: exploration stopped
+    deadline_misses: int = 0
+    results: List[object] = field(default_factory=list)
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.query_latencies)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.batch_times)
+
+    @property
+    def throughput(self) -> float:
+        """Answered queries per second of batch wall time."""
+        return self.n_queries / self.total_seconds if self.total_seconds else 0.0
+
+    def latency_summary(self) -> Dict[str, float]:
+        """Percentiles of the per-query latencies (see ISSUE: SLO tails)."""
+        return latency_percentiles(self.query_latencies)
+
+    def batch_summary(self) -> Dict[str, float]:
+        """Percentiles of the per-batch wall times."""
+        return latency_percentiles(self.batch_times)
+
+
+def run_workload_batched(
+    engine,
+    workload: Workload,
+    batch_size: int = 32,
+    deadline: Optional[float] = None,
+    label: str = "",
+    **search_kwargs,
+) -> BatchStats:
+    """Run *workload* through ``engine.search_many`` in batches.
+
+    *deadline* is the per-query anytime budget in seconds: a query that
+    exceeds it is retired from its batch with its current best
+    candidates.  ``deadline_misses`` counts every query whose observed
+    submission-to-answer latency reached the deadline, whatever stopped
+    its exploration.  Extra *search_kwargs* (e.g. ``semantic=False``)
+    are forwarded to ``search_many``.
+    """
+    stats = BatchStats(name=label or workload.name, batch_size=batch_size)
+    for batch in workload.batches(batch_size):
+        started = time.perf_counter()
+        results = engine.search_many(batch, time_budget=deadline, **search_kwargs)
+        stats.batch_times.append(time.perf_counter() - started)
+        for result in results:
+            stats.query_latencies.append(result.wall_time)
+            if deadline is not None and result.wall_time >= deadline:
+                stats.deadline_misses += 1
+        stats.results.extend(results)
+    return stats
 
 
 def s3k_runner(engine, **search_kwargs) -> Callable[[QuerySpec], object]:

@@ -44,6 +44,19 @@ class Workload:
     def __len__(self) -> int:
         return len(self.queries)
 
+    def batches(self, batch_size: int) -> List[List[QuerySpec]]:
+        """Split the workload into batches for ``S3kSearch.search_many``.
+
+        The last batch may be short; ``batch_size <= 0`` yields one batch
+        holding the whole workload.
+        """
+        if batch_size <= 0:
+            return [list(self.queries)] if self.queries else []
+        return [
+            list(self.queries[start : start + batch_size])
+            for start in range(0, len(self.queries), batch_size)
+        ]
+
 
 def document_frequencies(instance: S3Instance) -> Dict[Term, int]:
     """Keyword → number of *documents* (root trees) containing it."""

@@ -1,0 +1,5 @@
+"""Test package for the S3 reproduction.
+
+Making ``tests`` a package lets the suite's relative imports
+(``from .fixtures import ...``) resolve under ``python -m pytest``.
+"""

@@ -88,6 +88,60 @@ class TestSearch:
         assert "no results" in capsys.readouterr().out
 
 
+class TestBatch:
+    def test_batch_reports_throughput(self, generated_db, capsys):
+        code = main(
+            [
+                "batch",
+                "--db",
+                str(generated_db),
+                "--queries",
+                "8",
+                "--batch-size",
+                "4",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "throughput (q/s)" in output
+        assert "latency p99" in output
+
+    def test_batch_compare_sequential(self, generated_db, capsys):
+        code = main(
+            [
+                "batch",
+                "--db",
+                str(generated_db),
+                "--queries",
+                "6",
+                "--batch-size",
+                "3",
+                "--compare-sequential",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "sequential throughput (q/s)" in output
+        assert "speedup" in output
+
+    def test_batch_with_deadline(self, generated_db, capsys):
+        code = main(
+            [
+                "batch",
+                "--db",
+                str(generated_db),
+                "--queries",
+                "4",
+                "--batch-size",
+                "2",
+                "--deadline",
+                "0.5",
+            ]
+        )
+        assert code == 0
+        assert "deadline misses" in capsys.readouterr().out
+
+
 class TestCompare:
     def test_compare_prints_measures(self, generated_db, capsys):
         code = main(["compare", "--db", str(generated_db), "--queries", "4"])

@@ -1,0 +1,142 @@
+"""``ProximityIndex.step_many``: the stacked mat-mat exploration step.
+
+The batched step must equal the per-column sequential :meth:`step` —
+bit for bit in matrix mode (scipy's CSR mat-mat accumulates each output
+column in the same element order as its mat-vec), and within
+``TIE_EPSILON`` in general — including when columns retire mid-flight as
+their queries hit the threshold stop at different iterations.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import ProximityIndex, S3kSearch
+from repro.core.search import TIE_EPSILON
+
+from .fixtures import figure1_instance, figure3_instance
+from .instance_gen import random_instance
+
+
+def _random_borders(index: ProximityIndex, rng: np.random.Generator, n: int):
+    """Sparse-ish random border columns over the index's node universe."""
+    borders = rng.random((index.size, n))
+    borders[rng.random((index.size, n)) < 0.6] = 0.0
+    return borders
+
+
+@pytest.mark.parametrize("use_matrix", [True, False])
+class TestStepManyEqualsStep:
+    def test_random_borders(self, use_matrix):
+        instance = figure1_instance()
+        index = ProximityIndex(instance, use_matrix=use_matrix)
+        rng = np.random.default_rng(7)
+        borders = _random_borders(index, rng, 8)
+        stepped = index.step_many(borders)
+        assert stepped.shape == borders.shape
+        for column in range(borders.shape[1]):
+            expected = index.step(borders[:, column])
+            assert np.allclose(stepped[:, column], expected, atol=TIE_EPSILON)
+
+    def test_start_vectors(self, use_matrix):
+        instance = figure3_instance()
+        index = ProximityIndex(instance, use_matrix=use_matrix)
+        seekers = [uri for uri in map(str, ("u0", "u1", "u2", "u3"))]
+        from repro.rdf import URI
+
+        columns = [index.start_vector(URI(s)) for s in seekers]
+        stacked = np.column_stack(columns)
+        stepped = index.step_many(stacked)
+        for column, border in enumerate(columns):
+            expected = index.step(border)
+            assert np.allclose(stepped[:, column], expected, atol=TIE_EPSILON)
+
+    def test_iterated_propagation_stays_aligned(self, use_matrix):
+        """Several chained steps: mat-mat iterate == mat-vec iterate."""
+        instance = figure1_instance()
+        index = ProximityIndex(instance, use_matrix=use_matrix)
+        rng = np.random.default_rng(13)
+        borders = _random_borders(index, rng, 5)
+        singles = [borders[:, column].copy() for column in range(5)]
+        stacked = borders
+        for _ in range(6):
+            stacked = index.step_many(stacked)
+            singles = [index.step(border) for border in singles]
+        for column, single in enumerate(singles):
+            assert np.allclose(stacked[:, column], single, atol=TIE_EPSILON)
+
+
+class TestBitIdentityMatrixMode:
+    def test_columns_bitwise_equal_matvec(self):
+        """Matrix mode is exactly reproducible column-by-column."""
+        instance = figure1_instance()
+        index = ProximityIndex(instance, use_matrix=True)
+        rng = np.random.default_rng(3)
+        borders = _random_borders(index, rng, 16)
+        stepped = index.step_many(borders)
+        for column in range(16):
+            assert np.array_equal(stepped[:, column], index.step(borders[:, column]))
+
+
+class TestColumnRetirement:
+    def test_narrowing_matrix_matches_per_column_step(self):
+        """Dropping finished columns mid-flight never perturbs survivors.
+
+        Mimics ``search_many``'s retirement: start with 6 columns, retire
+        a couple every iteration, and check the survivors stay bitwise
+        equal to independently stepped vectors.
+        """
+        instance = figure1_instance()
+        index = ProximityIndex(instance, use_matrix=True)
+        rng = np.random.default_rng(23)
+        n_columns = 6
+        matrix = _random_borders(index, rng, n_columns)
+        vectors = {c: matrix[:, c].copy() for c in range(n_columns)}
+        live = list(range(n_columns))
+        retirement_order = [[], [4], [1, 5], [], [0, 2]]
+        for retire in retirement_order:
+            matrix = index.step_many(matrix)
+            for original, column in zip(live, range(matrix.shape[1])):
+                vectors[original] = index.step(vectors[original])
+                assert np.array_equal(matrix[:, column], vectors[original])
+            if retire:
+                keep = [c for c in range(len(live)) if live[c] not in retire]
+                matrix = np.ascontiguousarray(matrix[:, keep])
+                live = [live[c] for c in keep]
+        assert live  # sanity: some columns survived the schedule
+
+    def test_search_many_retires_at_different_iterations(self):
+        """End-to-end: queries stopping at different depths stay exact."""
+        rng = random.Random(99)
+        instance = random_instance(rng, n_users=8, n_docs=6)
+        engine = S3kSearch(instance)
+        seekers = sorted(instance.users)
+        queries = [(s, ["alpha"], 2) for s in seekers[:4]] + [
+            (seekers[0], ["beta", "gamma"], 3),
+            (seekers[5], ["delta"], 1),
+        ]
+        batch = engine.search_many(queries)
+        iteration_counts = {r.iterations for r in batch}
+        for (seeker, keywords, k), batched in zip(queries, batch):
+            single = engine.search(seeker, keywords, k=k)
+            assert batched.results == single.results
+            assert batched.iterations == single.iterations
+        # The schedule exercised the retirement path (not all queries
+        # stopped on the same lock-step iteration).
+        assert len(iteration_counts) > 1
+
+
+class TestValidation:
+    def test_rejects_wrong_shape(self):
+        index = ProximityIndex(figure1_instance())
+        with pytest.raises(ValueError):
+            index.step_many(np.zeros(index.size))
+        with pytest.raises(ValueError):
+            index.step_many(np.zeros((index.size + 1, 3)))
+
+    def test_empty_matrix_is_noop(self):
+        index = ProximityIndex(figure1_instance())
+        empty = np.zeros((index.size, 0))
+        result = index.step_many(empty)
+        assert result.shape == (index.size, 0)

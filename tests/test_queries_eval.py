@@ -8,9 +8,11 @@ from repro.eval import (
     compare_engines,
     graph_reachability,
     intersection_size,
+    latency_percentiles,
     normalized_footrule,
     semantic_reachability,
     spearman_footrule,
+    format_latency_table,
     format_table,
 )
 from repro.queries import (
@@ -19,6 +21,7 @@ from repro.queries import (
     document_frequencies,
     frequency_buckets,
     run_workload,
+    run_workload_batched,
     s3k_runner,
 )
 from repro.rdf import Literal
@@ -81,6 +84,79 @@ class TestWorkloads:
         assert quartiles["median"] <= quartiles["q3"] <= quartiles["max"]
         assert summary.median > 0
         assert len(summary.times) == 6
+
+
+class TestBatchedRunner:
+    def test_workload_batches_cover_all_queries(self, twitter):
+        builder = WorkloadBuilder(twitter.instance, seed=3)
+        workload = builder.build("+", 1, 5, 10)
+        batches = workload.batches(4)
+        assert [len(b) for b in batches] == [4, 4, 2]
+        assert [q for b in batches for q in b] == workload.queries
+        assert workload.batches(0) == [workload.queries]
+
+    def test_batched_results_match_sequential(self, twitter):
+        engine = S3kSearch(twitter.instance)
+        builder = WorkloadBuilder(twitter.instance, seed=3)
+        workload = builder.build("+", 1, 5, 8)
+        stats = run_workload_batched(engine, workload, batch_size=4)
+        assert stats.n_queries == 8
+        assert len(stats.batch_times) == 2
+        assert stats.throughput > 0
+        for spec, result in zip(workload.queries, stats.results):
+            single = engine.search(spec.seeker, spec.keywords, k=spec.k)
+            assert result.results == single.results
+
+    def test_batched_latency_summary_shape(self, twitter):
+        engine = S3kSearch(twitter.instance)
+        builder = WorkloadBuilder(twitter.instance, seed=3)
+        stats = run_workload_batched(
+            engine, builder.build("+", 1, 5, 6), batch_size=3
+        )
+        summary = stats.latency_summary()
+        assert set(summary) == {"mean", "p50", "p90", "p95", "p99", "max"}
+        assert summary["p50"] <= summary["p99"] <= summary["max"]
+        assert stats.deadline_misses == 0
+
+    def test_deadline_misses_counted(self, twitter):
+        engine = S3kSearch(twitter.instance)
+        builder = WorkloadBuilder(twitter.instance, seed=3)
+        workload = builder.build("+", 1, 5, 4)
+        stats = run_workload_batched(
+            engine, workload, batch_size=2, deadline=0.0
+        )
+        # A zero deadline forces the anytime stop on every non-trivial
+        # query; trivially-empty queries may still finish by threshold.
+        assert 0 <= stats.deadline_misses <= 4
+        assert all(r.terminated_by in ("anytime", "threshold") for r in stats.results)
+
+
+class TestLatencyPercentiles:
+    def test_empty_series(self):
+        summary = latency_percentiles([])
+        assert summary["mean"] == summary["p99"] == summary["max"] == 0.0
+
+    def test_single_value(self):
+        summary = latency_percentiles([0.25])
+        assert summary["mean"] == summary["p50"] == summary["max"] == 0.25
+
+    def test_nearest_rank_tail(self):
+        times = [float(i) for i in range(1, 101)]
+        summary = latency_percentiles(times)
+        assert summary["p50"] == 50.0
+        assert summary["p90"] == 90.0
+        assert summary["p99"] == 99.0
+        assert summary["max"] == 100.0
+        assert summary["mean"] == pytest.approx(50.5)
+
+    def test_format_latency_table(self):
+        table = format_latency_table(
+            {"batched": [0.010, 0.020], "single": [0.030]}, title="latency"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "latency"
+        assert "mean (ms)" in lines[1] and "p99 (ms)" in lines[1]
+        assert any("batched" in line for line in lines)
 
 
 class TestFootrule:
