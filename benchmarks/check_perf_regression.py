@@ -1,0 +1,59 @@
+"""CI perf gate: compare a fresh BENCH json against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py BASELINE.json FRESH.json [factor]
+
+Exits non-zero when the gather phase regressed more than *factor* (default
+2x) against the baseline.  The gate compares the fixpoint/index *speedup
+ratio* rather than absolute milliseconds, so a slower CI runner does not
+trip it — only a real relative regression of the indexed gather path does.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv) -> int:
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    baseline = json.loads(Path(argv[1]).read_text())
+    fresh = json.loads(Path(argv[2]).read_text())
+    factor = float(argv[3]) if len(argv) > 3 else 2.0
+
+    baseline_speedup = float(baseline["gather_phase"]["speedup"])
+    fresh_speedup = float(fresh["gather_phase"]["speedup"])
+    floor = baseline_speedup / factor
+    print(
+        f"gather-phase speedup: baseline {baseline_speedup:.2f}x, "
+        f"fresh {fresh_speedup:.2f}x, floor {floor:.2f}x "
+        f"(= baseline / {factor:g})"
+    )
+    if fresh_speedup < floor:
+        print(
+            "FAIL: the indexed gather phase regressed more than "
+            f"{factor:g}x relative to the fixpoint baseline"
+        )
+        return 1
+
+    for name in ("uniform", "zipf", "hot"):
+        base = next(
+            (w for w in baseline["workloads"] if w["workload"] == name), None
+        )
+        new = next((w for w in fresh["workloads"] if w["workload"] == name), None)
+        if base is None or new is None or not base.get("speedup"):
+            continue
+        print(
+            f"{name}: throughput speedup baseline {base['speedup']:.2f}x, "
+            f"fresh {new['speedup']:.2f}x"
+        )
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,76 @@
+"""Machine-readable benchmark artifacts (``BENCH_<name>.json``).
+
+Every perf benchmark emits, next to its human-readable table, one JSON
+document under the repo root so the perf trajectory is tracked across
+PRs (the committed file records the numbers of the PR that touched it;
+CI uploads the freshly measured one as an artifact and the perf-smoke
+job compares the two).
+
+Shared schema (``schema_version`` 1)::
+
+    {
+      "bench": "<name>",                # benchmark identifier
+      "schema_version": 1,
+      "instance": "I1",                 # dataset the numbers were taken on
+      "seed": 17,                       # workload seed (deterministic)
+      "n_queries": 64, "batch_size": 32,
+      "index_build_seconds": 0.28,      # offline ConnectionIndex build
+      "workloads": [                    # one entry per traffic mix
+        {"workload": "uniform", "unique_queries": 63,
+         "baseline_qps": ..., "qps": ..., "speedup": ...,
+         "latency_p50_ms": ..., "latency_p99_ms": ...},
+        ...
+      ],
+      ...                               # bench-specific extras
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+SCHEMA_VERSION = 1
+
+#: Repo root — BENCH_*.json artifacts live here so they are committed
+#: alongside the code whose performance they record.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def workload_entry(
+    name: str,
+    unique_queries: int,
+    baseline_qps: float,
+    qps: float,
+    latencies_ms: Dict[str, float],
+) -> Dict[str, object]:
+    """One traffic-mix record of the shared schema."""
+    return {
+        "workload": name,
+        "unique_queries": unique_queries,
+        "baseline_qps": round(baseline_qps, 2),
+        "qps": round(qps, 2),
+        "speedup": round(qps / baseline_qps, 3) if baseline_qps else None,
+        "latency_p50_ms": round(latencies_ms.get("p50", 0.0), 3),
+        "latency_p99_ms": round(latencies_ms.get("p99", 0.0), 3),
+    }
+
+
+def write_bench_json(name: str, payload: Dict[str, object]) -> Path:
+    """Write ``BENCH_<name>.json`` (repo root + a copy under results/)."""
+    document = {"bench": name, "schema_version": SCHEMA_VERSION}
+    document.update(payload)
+    text = json.dumps(document, indent=2, sort_keys=False) + "\n"
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"BENCH_{name}.json").write_text(text)
+    return path
+
+
+def read_bench_json(name: str) -> Dict[str, object]:
+    """Load the committed ``BENCH_<name>.json`` (for regression gates)."""
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    return json.loads(path.read_text())

@@ -1,19 +1,23 @@
-"""Command-line interface: generate, search, batch, compare.
+"""Command-line interface: generate, index, search, batch, compare.
 
 Usage::
 
     python -m repro generate --dataset twitter --out i1.db [--scale 0.5]
+    python -m repro index    --db i1.db
     python -m repro search   --db i1.db --seeker tw:u0 --keywords w0 w3 -k 5
     python -m repro batch    --db i1.db --queries 64 --batch-size 32
     python -m repro compare  --db i1.db --queries 10
 
 ``generate`` builds one of the three paper-shaped instances and persists
-it to SQLite; ``search`` answers a single S3k query against a stored
-instance; ``batch`` runs a generated workload through the batched
-``search_many`` executor and reports throughput and latency percentiles
-(optionally against the sequential baseline); ``compare`` runs the
-Figure 8 qualitative comparison between S3k and the TopkS baseline on
-generated workloads.
+it to SQLite; ``index`` prebuilds the per-keyword ConnectionIndex and
+persists it next to the instance (later runs start warm, with zero
+query-time fixpoint work); ``search`` answers a single S3k query against
+a stored instance; ``batch`` runs a generated workload through the
+batched ``search_many`` executor and reports throughput, latency
+percentiles, index build cost and result-cache counters (optionally
+against the sequential baseline); ``compare`` runs the Figure 8
+qualitative comparison between S3k and the TopkS baseline on generated
+workloads.
 """
 
 from __future__ import annotations
@@ -30,7 +34,7 @@ from .datasets import (
     build_yelp_instance,
     compute_stats,
 )
-from .eval import compare_engines, format_table
+from .eval import compare_engines, format_counter_table, format_table
 from .queries import WorkloadBuilder
 from .storage import SQLiteStore
 
@@ -54,6 +58,11 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument(
         "--scale", type=float, default=1.0, help="size multiplier (default 1.0)"
     )
+
+    index = commands.add_parser(
+        "index", help="prebuild + persist the per-keyword ConnectionIndex"
+    )
+    index.add_argument("--db", required=True, help="SQLite file from `generate`")
 
     search = commands.add_parser("search", help="answer one top-k query")
     search.add_argument("--db", required=True, help="SQLite file from `generate`")
@@ -89,6 +98,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--compare-sequential", action="store_true",
         help="also time the same workload sequentially and report speedup",
     )
+    batch.add_argument(
+        "--no-connection-index", action="store_true",
+        help="gather candidates with the query-time fixpoint instead of "
+        "the precomputed ConnectionIndex",
+    )
 
     compare = commands.add_parser("compare", help="S3k vs TopkS quality measures")
     compare.add_argument("--db", required=True)
@@ -115,10 +129,38 @@ def _generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _index(args: argparse.Namespace) -> int:
+    import time
+
+    with SQLiteStore(args.db) as store:
+        instance = store.load_instance()
+        from .core import ConnectionIndex
+
+        started = time.perf_counter()
+        index = ConnectionIndex(instance).ensure_all()
+        build_seconds = time.perf_counter() - started
+        slabs = store.save_connection_index(index)
+    stats = index.stats()
+    rows = [
+        ["components", slabs],
+        ["atoms", stats["atoms"]],
+        ["evidence entries", stats["evidence_entries"]],
+        ["index size", f"{stats['size_bytes'] / 1024:.1f} KiB"],
+        ["build time", f"{build_seconds * 1e3:.1f} ms"],
+    ]
+    print(format_table(["measure", "value"], rows, title=f"ConnectionIndex → {args.db}"))
+    return 0
+
+
 def _search(args: argparse.Namespace) -> int:
     with SQLiteStore(args.db) as store:
         instance = store.load_instance()
-    engine = S3kSearch(instance, score=S3kScore(gamma=args.gamma, eta=args.eta))
+        connection_index = store.load_connection_index(instance)
+    engine = S3kSearch(
+        instance,
+        score=S3kScore(gamma=args.gamma, eta=args.eta),
+        connection_index=connection_index,
+    )
     result = engine.search(
         args.seeker, args.keywords, k=args.k, semantic=not args.no_semantics
     )
@@ -141,7 +183,25 @@ def _batch(args: argparse.Namespace) -> int:
 
     with SQLiteStore(args.db) as store:
         instance = store.load_instance()
-    engine = S3kSearch(instance)
+        persisted_slabs = store.connection_index_slab_count()
+        connection_index = (
+            store.load_connection_index(instance)
+            if not args.no_connection_index
+            else None
+        )
+    engine = S3kSearch(
+        instance,
+        connection_index=connection_index,
+        use_connection_index=not args.no_connection_index,
+    )
+    # Slabs present right after construction were adopted from the store;
+    # whatever appears later was built lazily during the run (persisted
+    # rows that no longer match the instance are skipped on load).
+    adopted_slabs = (
+        int(engine.connection_index.stats()["components_built"])
+        if engine.connection_index is not None
+        else 0
+    )
     builder = WorkloadBuilder(instance, seed=args.seed)
     workload = builder.build(args.frequency, args.n_keywords, args.k, args.queries)
 
@@ -159,10 +219,32 @@ def _batch(args: argparse.Namespace) -> int:
         [f"latency {name}", f"{value * 1e3:.2f} ms"]
         for name, value in stats.latency_summary().items()
     )
+    if engine.connection_index is not None:
+        index_stats = engine.connection_index.stats()
+        rows.append(["index slabs (persisted)", persisted_slabs])
+        rows.append(["index slabs (adopted)", adopted_slabs])
+        rows.append(
+            [
+                "index slabs (built lazily)",
+                int(index_stats["components_built"]) - adopted_slabs,
+            ]
+        )
+        rows.append(["index size", f"{index_stats['size_bytes'] / 1024:.1f} KiB"])
+        rows.append(
+            ["index build time", f"{index_stats['build_seconds'] * 1e3:.1f} ms"]
+        )
     if args.compare_sequential:
         # The baseline gets the same per-query budget, so the speedup row
-        # credits batching, not the deadline.
-        runner = s3k_runner(engine, time_budget=args.deadline)
+        # credits batching, not the deadline — and a separate engine
+        # without the result cache, so it cannot replay the batched run's
+        # answers (the shared ConnectionIndex is reused as-is).
+        baseline = S3kSearch(
+            instance,
+            connection_index=engine.connection_index,
+            use_connection_index=not args.no_connection_index,
+            result_cache_size=0,
+        )
+        runner = s3k_runner(baseline, time_budget=args.deadline)
         started = time.perf_counter()
         run_workload(runner, workload)
         sequential_seconds = time.perf_counter() - started
@@ -173,6 +255,8 @@ def _batch(args: argparse.Namespace) -> int:
         if sequential_qps:
             rows.append(["speedup", f"{stats.throughput / sequential_qps:.2f}x"])
     print(format_table(["measure", "value"], rows, title=f"batched {workload.name}"))
+    if stats.cache_stats:
+        print(format_counter_table({"result cache": stats.cache_stats}))
     return 0
 
 
@@ -202,6 +286,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "generate": _generate,
+        "index": _index,
         "search": _search,
         "batch": _batch,
         "compare": _compare,

@@ -2,7 +2,8 @@
 
 from .components import Component, ComponentIndex
 from .concrete_score import S3kScore
-from .connections import ComponentConnections, Connection
+from .connection_index import ConnectionIndex
+from .connections import ComponentConnections, Connection, resolve_connections
 from .extension import extend_query, keyword_extension
 from .instance import S3Instance
 from .oracle import exact_proximities, exact_scores, exact_top_k
@@ -35,6 +36,8 @@ __all__ = [
     "ComponentIndex",
     "ComponentConnections",
     "Connection",
+    "ConnectionIndex",
+    "resolve_connections",
     "ProximityIndex",
     "PathExplorer",
     "SocialPath",

@@ -1,0 +1,647 @@
+"""Precomputed per-keyword connection evidence (the ConnectionIndex).
+
+:class:`~repro.core.connections.ComponentConnections` evaluates the
+``con(d, k)`` rules of Section 3.2 as a worklist fixpoint *at query time*,
+once per (component, extended keyword set).  Under unique-query traffic
+that fixpoint dominates the gather phase: every distinct ``(keywords,
+semantic)`` pair pays it again even though nothing about it depends on the
+seeker.  This module moves the whole computation offline.
+
+**Soundness.**  The propagation rules never mix keywords: every rule's
+premise tests membership of a *single* keyword in the extension (contains,
+keyword tags) or non-emptiness of an existing connection set
+(endorsements, tags-on-tags, comments), and every derivation tree
+therefore bottoms out in base facts of exactly one atomic keyword.  Hence
+for any extension ``Ext(k) = {a1, .., am}``::
+
+    fixpoint(Ext(k))  ==  fixpoint({a1}) ∪ .. ∪ fixpoint({am})
+
+so evidence precomputed per *atom* (each keyword occurring in a
+component's contents or tags) is exact: the query-time ``con(d, k)`` is
+the union of the per-atom slices of the atoms in ``Ext(k)``, with zero
+fixpoint work.
+
+**Offline build.**  Per component the build is vectorized over the atom
+dimension instead of re-running one worklist per keyword:
+
+* *phase 1* computes, for every document node / tag and every atom,
+  whether its connection set is non-empty, as a sparse boolean fixpoint
+  over scipy CSR adjacency matrices (contains, tag-keyword, tags-on-tags,
+  endorsement-subject, tag-subject, ancestor-or-self and comment-membership
+  incidence) — a handful of mat-mat products per round, like
+  :class:`~repro.core.prox.ProximityIndex`;
+* *phase 2* resolves the exact ``(type, src)`` pairs by propagating
+  per-source boolean *atom masks* along the (gate-free, linear) source-flow
+  edges, using phase 1's final activity for the endorsement gates — valid
+  because the fixpoint is a least fixed point, so a rule gated on
+  non-emptiness fires iff its gate holds in the final state.
+
+Evidence is stored as flat CSR-style arrays — per (component, atom) a
+slice of attachment nodes, per node a slice of interned ``(type, src)``
+pairs — plus a per-(node, atom) *coverage* matrix (does the node's subtree
+hold evidence?) from which candidate extraction becomes a vectorized
+boolean AND/OR instead of a per-tree Python walk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import time
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from ..rdf.namespaces import S3_COMMENTS_ON, S3_CONTAINS, S3_RELATED_TO
+from ..rdf.terms import Literal, Term, URI, coerce_term
+from .components import Component, ComponentIndex
+from .connections import _SELF
+from .instance import S3Instance
+
+#: Interned connection types: evidence pairs store a code, not a URI.
+_TYPES: Tuple[URI, ...] = (S3_CONTAINS, S3_RELATED_TO, S3_COMMENTS_ON)
+_CONTAINS, _RELATED_TO, _COMMENTS_ON = 0, 1, 2
+
+
+def _encode_term(term: Term) -> List[str]:
+    return ["u" if isinstance(term, URI) else "l", str(term)]
+
+
+def _decode_term(pair: List[str]) -> Term:
+    kind, value = pair
+    return URI(value) if kind == "u" else Literal(value)
+
+
+def _component_fingerprint(instance: S3Instance, component: Component) -> str:
+    """Digest of everything the evidence of *component* depends on.
+
+    Covers the document structure (node parents), per-node keyword
+    contents, tags (subject / author / keyword) and comment edges — a
+    persisted slab is only adopted when this matches, so an index saved
+    against different content can never be silently reused.
+    """
+    digest = hashlib.sha256()
+    for uri in sorted(component.nodes):
+        node = instance.documents[instance.node_to_document[uri]].node(uri)
+        parent = node.parent.uri if node.parent is not None else ""
+        digest.update(f"n|{uri}|{parent}".encode())
+        for keyword in sorted(_encode_term(coerce_term(k)) for k in set(node.keywords)):
+            digest.update(f"k|{keyword}".encode())
+        for comment in sorted(instance.comments_on(uri)):
+            digest.update(f"c|{uri}|{comment}".encode())
+    for tag_uri in sorted(component.tags):
+        tag = instance.tags[tag_uri]
+        keyword = (
+            "|".join(_encode_term(coerce_term(tag.keyword)))
+            if tag.keyword is not None
+            else ""
+        )
+        digest.update(f"t|{tag_uri}|{tag.subject}|{tag.author}|{keyword}".encode())
+    return digest.hexdigest()
+
+
+def _bool_csr(
+    rows: List[int], cols: List[int], shape: Tuple[int, int]
+) -> sparse.csr_matrix:
+    """A 0/1 float CSR matrix (floats so that ``@`` counts, then clamps)."""
+    matrix = sparse.csr_matrix(
+        (np.ones(len(rows), dtype=np.float64), (rows, cols)),
+        shape=shape,
+        dtype=np.float64,
+    )
+    matrix.data[:] = 1.0
+    return matrix
+
+
+def _clamp(matrix: sparse.spmatrix) -> sparse.csr_matrix:
+    """Clamp a counting matrix back to 0/1 membership."""
+    matrix = matrix.tocsr()
+    matrix.eliminate_zeros()
+    matrix.data[:] = 1.0
+    return matrix
+
+
+def _row_mask(matrix: sparse.csr_matrix, row: int, width: int) -> np.ndarray:
+    """Dense boolean mask of one CSR row."""
+    mask = np.zeros(width, dtype=bool)
+    mask[matrix.indices[matrix.indptr[row] : matrix.indptr[row + 1]]] = True
+    return mask
+
+
+def _merge_mask(bucket: Dict, key, mask: np.ndarray) -> bool:
+    """OR *mask* into ``bucket[key]``; True when anything new appeared."""
+    current = bucket.get(key)
+    if current is None:
+        if mask.any():
+            bucket[key] = mask.copy()
+            return True
+        return False
+    missing = mask & ~current
+    if missing.any():
+        current |= missing
+        return True
+    return False
+
+
+class _ComponentSlab:
+    """Flat per-component evidence arrays (one atom = one CSR slice).
+
+    For atom ``a`` the attachment nodes live in
+    ``ev_node[atom_ptr[a]:atom_ptr[a+1]]`` (local node ids, ascending) and
+    entry ``e`` holds the interned pair ids ``ev_pair[ev_ptr[e]:ev_ptr[e+1]]``.
+    ``coverage[n, a]`` is True when node ``n``'s subtree holds evidence for
+    atom ``a``; ``candidate_order`` lists local node ids in the post-order-
+    per-sorted-root emission order of
+    :func:`~repro.core.connections.covering_candidates`.
+    """
+
+    __slots__ = (
+        "ident",
+        "version",
+        "fingerprint",
+        "atoms",
+        "atom_of",
+        "node_uris",
+        "node_of",
+        "pair_types",
+        "pair_sources",
+        "atom_ptr",
+        "ev_node",
+        "ev_ptr",
+        "ev_pair",
+        "coverage",
+        "candidate_order",
+    )
+
+    def __init__(self) -> None:
+        self.ident: int = -1
+        self.version: int = -1
+        self.fingerprint: str = ""
+        self.atoms: List[Term] = []
+        self.atom_of: Dict[Term, int] = {}
+        self.node_uris: List[URI] = []
+        self.node_of: Dict[URI, int] = {}
+        self.pair_types: np.ndarray = np.empty(0, dtype=np.int8)
+        self.pair_sources: List[URI] = []
+        self.atom_ptr: np.ndarray = np.zeros(1, dtype=np.intp)
+        self.ev_node: np.ndarray = np.empty(0, dtype=np.int32)
+        self.ev_ptr: np.ndarray = np.zeros(1, dtype=np.intp)
+        self.ev_pair: np.ndarray = np.empty(0, dtype=np.int32)
+        self.coverage: np.ndarray = np.zeros((0, 0), dtype=bool)
+        self.candidate_order: np.ndarray = np.empty(0, dtype=np.int32)
+
+    # -- stats ----------------------------------------------------------
+    @property
+    def n_entries(self) -> int:
+        return int(self.ev_node.size)
+
+    @property
+    def nbytes(self) -> int:
+        arrays = (
+            self.pair_types,
+            self.atom_ptr,
+            self.ev_node,
+            self.ev_ptr,
+            self.ev_pair,
+            self.coverage,
+            self.candidate_order,
+        )
+        strings = sum(len(str(u)) for u in self.node_uris)
+        strings += sum(len(str(u)) for u in self.pair_sources)
+        strings += sum(len(str(a)) for a in self.atoms)
+        return int(sum(a.nbytes for a in arrays)) + strings
+
+    # -- serialization --------------------------------------------------
+    def to_payload(self) -> Tuple[str, bytes]:
+        """``(header JSON, npz blob)`` — everything needed to reload."""
+        header = json.dumps(
+            {
+                "ident": self.ident,
+                "fingerprint": self.fingerprint,
+                "atoms": [_encode_term(a) for a in self.atoms],
+                "nodes": [str(u) for u in self.node_uris],
+                "pair_sources": [str(u) for u in self.pair_sources],
+            }
+        )
+        buffer = io.BytesIO()
+        np.savez_compressed(
+            buffer,
+            pair_types=self.pair_types,
+            atom_ptr=self.atom_ptr,
+            ev_node=self.ev_node,
+            ev_ptr=self.ev_ptr,
+            ev_pair=self.ev_pair,
+            coverage=self.coverage,
+            candidate_order=self.candidate_order,
+        )
+        return header, buffer.getvalue()
+
+    @classmethod
+    def from_payload(cls, header: str, blob: bytes) -> "_ComponentSlab":
+        meta = json.loads(header)
+        slab = cls()
+        slab.ident = int(meta["ident"])
+        slab.fingerprint = meta.get("fingerprint", "")
+        slab.atoms = [_decode_term(pair) for pair in meta["atoms"]]
+        slab.atom_of = {atom: i for i, atom in enumerate(slab.atoms)}
+        slab.node_uris = [URI(u) for u in meta["nodes"]]
+        slab.node_of = {u: i for i, u in enumerate(slab.node_uris)}
+        slab.pair_sources = [URI(u) for u in meta["pair_sources"]]
+        arrays = np.load(io.BytesIO(blob))
+        slab.pair_types = arrays["pair_types"]
+        slab.atom_ptr = arrays["atom_ptr"]
+        slab.ev_node = arrays["ev_node"]
+        slab.ev_ptr = arrays["ev_ptr"]
+        slab.ev_pair = arrays["ev_pair"]
+        slab.coverage = arrays["coverage"]
+        slab.candidate_order = arrays["candidate_order"]
+        return slab
+
+
+class ConnectionIndex:
+    """Instance-level precomputed ``con(d, k)`` evidence, built per atom.
+
+    Components build lazily on first touch (or eagerly via
+    :meth:`ensure_all`); each slab records the instance version it was
+    built against and rebuilds transparently after mutations.  Warm slabs
+    can be persisted through
+    :meth:`repro.storage.sqlite_store.SQLiteStore.save_connection_index`.
+    """
+
+    def __init__(
+        self,
+        instance: S3Instance,
+        component_index: Optional[ComponentIndex] = None,
+    ):
+        if not instance.is_saturated:
+            instance.saturate()
+        self._instance = instance
+        self.component_index = (
+            component_index if component_index is not None else ComponentIndex(instance)
+        )
+        self._slabs: Dict[int, _ComponentSlab] = {}
+        #: cumulative seconds spent building slabs (reported by the CLI)
+        self.build_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Slab lifecycle
+    # ------------------------------------------------------------------
+    def ensure_all(self) -> "ConnectionIndex":
+        """Eagerly build every component's slab (the CLI ``index`` path)."""
+        for component in self.component_index.components():
+            self.slab(component.ident)
+        return self
+
+    def invalidate(self) -> None:
+        """Drop every built slab (they rebuild lazily on next use)."""
+        self._slabs.clear()
+
+    def slab(self, ident: int) -> _ComponentSlab:
+        """The (fresh) slab of component *ident*, building if needed."""
+        slab = self._slabs.get(ident)
+        if slab is None or slab.version != self._instance.version:
+            started = time.perf_counter()
+            slab = self._build_slab(self.component_index.component(ident))
+            self.build_seconds += time.perf_counter() - started
+            self._slabs[ident] = slab
+        return slab
+
+    # -- persistence hooks ---------------------------------------------
+    def payloads(self) -> Iterator[Tuple[int, str, bytes]]:
+        """Serialized built slabs, for the SQLite store."""
+        for ident in sorted(self._slabs):
+            header, blob = self._slabs[ident].to_payload()
+            yield ident, header, blob
+
+    def adopt_payload(self, header: str, blob: bytes) -> bool:
+        """Load one persisted slab, verifying it matches this instance.
+
+        A slab whose component shape (node set / atom set) no longer
+        matches is silently skipped and will rebuild lazily.
+        """
+        slab = _ComponentSlab.from_payload(header, blob)
+        if slab.ident >= len(self.component_index):
+            return False
+        component = self.component_index.component(slab.ident)
+        if slab.node_uris != sorted(component.nodes):
+            return False
+        if slab.atoms != sorted(component.keywords):
+            return False
+        if slab.fingerprint != _component_fingerprint(self._instance, component):
+            return False
+        slab.version = self._instance.version
+        self._slabs[slab.ident] = slab
+        return True
+
+    def stats(self) -> Dict[str, float]:
+        """Aggregate size / build-cost counters (CLI + bench reporting)."""
+        return {
+            "components_built": len(self._slabs),
+            "components_total": len(self.component_index),
+            "atoms": sum(len(s.atoms) for s in self._slabs.values()),
+            "evidence_entries": sum(s.n_entries for s in self._slabs.values()),
+            "size_bytes": sum(s.nbytes for s in self._slabs.values()),
+            "build_seconds": self.build_seconds,
+        }
+
+    # ------------------------------------------------------------------
+    # Query-time lookups (no fixpoint work)
+    # ------------------------------------------------------------------
+    def keyword_evidence(
+        self, ident: int, extension: Iterable[Term]
+    ) -> Dict[URI, Set[Tuple[URI, URI]]]:
+        """``con`` evidence of one query keyword: union of its atom slices.
+
+        Exactly equals ``ComponentConnections._fixpoint(extension)`` (the
+        property tests assert this per atom and per union).
+        """
+        slab = self.slab(ident)
+        atom_ids = sorted(
+            {slab.atom_of[atom] for atom in extension if atom in slab.atom_of}
+        )
+        evidence: Dict[URI, Set[Tuple[URI, URI]]] = {}
+        node_uris = slab.node_uris
+        pair_types = slab.pair_types
+        pair_sources = slab.pair_sources
+        for atom_id in atom_ids:
+            for entry in range(slab.atom_ptr[atom_id], slab.atom_ptr[atom_id + 1]):
+                uri = node_uris[slab.ev_node[entry]]
+                pairs = evidence.get(uri)
+                if pairs is None:
+                    pairs = evidence[uri] = set()
+                for pair_id in slab.ev_pair[
+                    slab.ev_ptr[entry] : slab.ev_ptr[entry + 1]
+                ]:
+                    pairs.add((_TYPES[pair_types[pair_id]], pair_sources[pair_id]))
+        return evidence
+
+    def candidate_documents(
+        self, ident: int, extensions: Dict[Term, Set[Term]]
+    ) -> List[URI]:
+        """Candidates with evidence for every keyword — one boolean gather.
+
+        Per keyword the covered-node mask is an OR over its atoms' coverage
+        columns; the candidate set is the AND across keywords, emitted in
+        the shared post-order-per-sorted-root order.
+        """
+        slab = self.slab(ident)
+        mask: Optional[np.ndarray] = None
+        for extension in extensions.values():
+            atom_ids = sorted(
+                {slab.atom_of[atom] for atom in extension if atom in slab.atom_of}
+            )
+            if not atom_ids:
+                return []
+            covered = slab.coverage[:, atom_ids].any(axis=1)
+            mask = covered if mask is None else (mask & covered)
+            if not mask.any():
+                return []
+        if mask is None:
+            return []
+        order = slab.candidate_order
+        selected = order[mask[order]]
+        node_uris = slab.node_uris
+        return [node_uris[i] for i in selected.tolist()]
+
+    # ------------------------------------------------------------------
+    # Offline build
+    # ------------------------------------------------------------------
+    def _build_slab(self, component: Component) -> _ComponentSlab:
+        instance = self._instance
+        slab = _ComponentSlab()
+        slab.ident = component.ident
+        slab.version = instance.version
+        slab.fingerprint = _component_fingerprint(instance, component)
+        slab.node_uris = sorted(component.nodes)
+        slab.node_of = {uri: i for i, uri in enumerate(slab.node_uris)}
+        slab.atoms = sorted(component.keywords)
+        slab.atom_of = {atom: i for i, atom in enumerate(slab.atoms)}
+        tag_uris = sorted(component.tags)
+        tag_of = {uri: j for j, uri in enumerate(tag_uris)}
+        n_nodes, n_tags, n_atoms = len(slab.node_uris), len(tag_uris), len(slab.atoms)
+        node_of, atom_of = slab.node_of, slab.atom_of
+
+        # -- incidence matrices (all 0/1 CSR) ---------------------------
+        c_rows: List[int] = []  # node contains atom
+        c_cols: List[int] = []
+        a_rows: List[int] = []  # ancestor-or-self
+        a_cols: List[int] = []
+        order: List[int] = []  # post-order per sorted root
+        for root in sorted(component.roots):
+            document = instance.documents[root]
+            for node in document.nodes():
+                node_id = node_of[node.uri]
+                for keyword in set(node.keywords):
+                    c_rows.append(node_id)
+                    c_cols.append(atom_of[coerce_term(keyword)])
+                current = node
+                while current is not None:
+                    a_rows.append(node_of[current.uri])
+                    a_cols.append(node_id)
+                    current = current.parent
+            stack = [(document.root, False)]
+            while stack:
+                node, expanded = stack.pop()
+                if expanded:
+                    order.append(node_of[node.uri])
+                    continue
+                stack.append((node, True))
+                for child in reversed(node.children):
+                    stack.append((child, False))
+        slab.candidate_order = np.asarray(order, dtype=np.int32)
+
+        tk_rows: List[int] = []  # tag has keyword atom
+        tk_cols: List[int] = []
+        ftt_rows: List[int] = []  # tag <- tag-on-it source flow
+        ftt_cols: List[int] = []
+        end_nd_rows: List[int] = []  # keyword-less tag gated on node subtree
+        end_nd_cols: List[int] = []
+        end_tg_rows: List[int] = []  # keyword-less tag gated on subject tag
+        end_tg_cols: List[int] = []
+        dep_rows: List[int] = []  # node <- tag relatedTo deposit
+        dep_cols: List[int] = []
+        tag_feeders: List[List[int]] = [[] for _ in range(n_tags)]
+        tag_deposits: List[Tuple[int, int]] = []
+        for j, tag_uri in enumerate(tag_uris):
+            tag = instance.tags[tag_uri]
+            if tag.keyword is not None:
+                tk_rows.append(j)
+                tk_cols.append(atom_of[coerce_term(tag.keyword)])
+            subject_node = node_of.get(tag.subject)
+            subject_tag = tag_of.get(tag.subject)
+            if tag.keyword is None:
+                if subject_node is not None:
+                    end_nd_rows.append(j)
+                    end_nd_cols.append(subject_node)
+                elif subject_tag is not None:
+                    end_tg_rows.append(j)
+                    end_tg_cols.append(subject_tag)
+            if subject_tag is not None:
+                ftt_rows.append(subject_tag)
+                ftt_cols.append(j)
+                tag_feeders[subject_tag].append(j)
+            if subject_node is not None:
+                dep_rows.append(subject_node)
+                dep_cols.append(j)
+                tag_deposits.append((subject_node, j))
+
+        cm_rows: List[int] = []  # commented node <- comment-doc member
+        cm_cols: List[int] = []
+        comment_flows: List[Tuple[int, URI, List[int]]] = []
+        for uri in slab.node_uris:
+            comments = instance.comments_on(uri)
+            if not comments:
+                continue
+            node_id = node_of[uri]
+            for comment in comments:
+                if comment not in instance.documents:
+                    continue
+                members = [
+                    node_of[n.uri]
+                    for n in instance.documents[comment].nodes()
+                    if n.uri in node_of
+                ]
+                comment_flows.append((node_id, comment, members))
+                for member in members:
+                    cm_rows.append(node_id)
+                    cm_cols.append(member)
+
+        contains = _bool_csr(c_rows, c_cols, (n_nodes, n_atoms))
+        ancestors = _bool_csr(a_rows, a_cols, (n_nodes, n_nodes))
+        tag_kw = _bool_csr(tk_rows, tk_cols, (n_tags, n_atoms))
+        flow_tt = _bool_csr(ftt_rows, ftt_cols, (n_tags, n_tags))
+        endorse_nd = _bool_csr(end_nd_rows, end_nd_cols, (n_tags, n_nodes))
+        endorse_tg = _bool_csr(end_tg_rows, end_tg_cols, (n_tags, n_tags))
+        deposits = _bool_csr(dep_rows, dep_cols, (n_nodes, n_tags))
+        comment_members = _bool_csr(cm_rows, cm_cols, (n_nodes, n_nodes))
+
+        # -- phase 1: non-emptiness fixpoint, vectorized over atoms -----
+        node_any = contains.copy()
+        tag_any = tag_kw.copy()
+        while True:
+            subtree_any = _clamp(ancestors @ node_any)
+            tag_next = _clamp(
+                tag_kw
+                + endorse_nd @ subtree_any
+                + endorse_tg @ tag_any
+                + flow_tt @ tag_any
+            )
+            node_next = _clamp(
+                contains + deposits @ tag_next + comment_members @ node_any
+            )
+            if tag_next.nnz == tag_any.nnz and node_next.nnz == node_any.nnz:
+                break
+            tag_any, node_any = tag_next, node_next
+        subtree_any = _clamp(ancestors @ node_any)
+
+        # -- phase 2: exact (type, src) pairs with per-atom masks --------
+        # Endorsement gates are now static (final activity), so the source
+        # flow is purely linear: author injections at tags, _SELF at
+        # contains nodes, then tags-on-tags / subject / comment edges.
+        tag_inject: List[Optional[Tuple[URI, np.ndarray]]] = [None] * n_tags
+        for j, tag_uri in enumerate(tag_uris):
+            tag = instance.tags[tag_uri]
+            if tag.keyword is not None:
+                mask = _row_mask(tag_kw, j, n_atoms)
+            else:
+                subject_node = node_of.get(tag.subject)
+                subject_tag = tag_of.get(tag.subject)
+                if subject_node is not None:
+                    mask = _row_mask(subtree_any, subject_node, n_atoms)
+                elif subject_tag is not None:
+                    mask = _row_mask(tag_any, subject_tag, n_atoms)
+                else:
+                    mask = np.zeros(n_atoms, dtype=bool)
+            if mask.any():
+                tag_inject[j] = (tag.author, mask)
+
+        tag_src: List[Dict[URI, np.ndarray]] = [dict() for _ in range(n_tags)]
+        node_pairs: List[Dict[Tuple[int, URI], np.ndarray]] = [
+            dict() for _ in range(n_nodes)
+        ]
+        for i in range(n_nodes):
+            mask = _row_mask(contains, i, n_atoms)
+            if mask.any():
+                node_pairs[i][(_CONTAINS, _SELF)] = mask
+
+        changed = True
+        while changed:
+            changed = False
+            for j in range(n_tags):
+                bucket = tag_src[j]
+                inject = tag_inject[j]
+                if inject is not None and _merge_mask(bucket, inject[0], inject[1]):
+                    changed = True
+                for feeder in tag_feeders[j]:
+                    for src, mask in list(tag_src[feeder].items()):
+                        if _merge_mask(bucket, src, mask):
+                            changed = True
+            for node_id, j in tag_deposits:
+                bucket = node_pairs[node_id]
+                for src, mask in list(tag_src[j].items()):
+                    if _merge_mask(bucket, (_RELATED_TO, src), mask):
+                        changed = True
+            for node_id, comment_root, members in comment_flows:
+                bucket = node_pairs[node_id]
+                for member in members:
+                    for (_tcode, src), mask in list(node_pairs[member].items()):
+                        resolved = comment_root if src == _SELF else src
+                        if _merge_mask(bucket, (_COMMENTS_ON, resolved), mask):
+                            changed = True
+
+        # -- assemble flat CSR arrays -----------------------------------
+        pair_of: Dict[Tuple[int, URI], int] = {}
+        pair_types: List[int] = []
+        pair_sources: List[URI] = []
+        per_atom: List[List[Tuple[int, int]]] = [[] for _ in range(n_atoms)]
+        has_evidence = np.zeros((n_nodes, n_atoms), dtype=bool)
+        for i in range(n_nodes):
+            for key, mask in sorted(node_pairs[i].items()):
+                pair_id = pair_of.get(key)
+                if pair_id is None:
+                    pair_id = pair_of[key] = len(pair_types)
+                    pair_types.append(key[0])
+                    pair_sources.append(key[1])
+                has_evidence[i] |= mask
+                for atom_id in np.flatnonzero(mask).tolist():
+                    per_atom[atom_id].append((i, pair_id))
+        slab.pair_types = np.asarray(pair_types, dtype=np.int8)
+        slab.pair_sources = pair_sources
+
+        ev_node: List[int] = []
+        ev_ptr: List[int] = [0]
+        ev_pair: List[int] = []
+        atom_ptr: List[int] = [0]
+        for atom_id in range(n_atoms):
+            entries = sorted(per_atom[atom_id])
+            position = 0
+            while position < len(entries):
+                node_id = entries[position][0]
+                ev_node.append(node_id)
+                while position < len(entries) and entries[position][0] == node_id:
+                    ev_pair.append(entries[position][1])
+                    position += 1
+                ev_ptr.append(len(ev_pair))
+            atom_ptr.append(len(ev_node))
+        slab.atom_ptr = np.asarray(atom_ptr, dtype=np.intp)
+        slab.ev_node = np.asarray(ev_node, dtype=np.int32)
+        slab.ev_ptr = np.asarray(ev_ptr, dtype=np.intp)
+        slab.ev_pair = np.asarray(ev_pair, dtype=np.int32)
+
+        # Coverage: a node covers an atom when its subtree holds evidence.
+        if n_nodes:
+            slab.coverage = (
+                ancestors @ has_evidence.astype(np.float64)
+            ) > 0.0
+        else:
+            slab.coverage = np.zeros((0, n_atoms), dtype=bool)
+        return slab
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        stats = self.stats()
+        return (
+            f"ConnectionIndex(components={stats['components_built']}/"
+            f"{stats['components_total']}, entries={stats['evidence_entries']})"
+        )

@@ -22,12 +22,30 @@ extended keywords.  Evidence is stored *per attachment node* as
 ``(type, src)`` pairs; the per-candidate ``con(d, k)`` is then the union of
 the evidence over ``Frag(d)``, with the ``_SELF`` placeholder resolved to
 the candidate (contains-connections have the candidate itself as source).
+
+Two evaluation strategies share the candidate-extraction and resolution
+helpers below: :class:`ComponentConnections` runs the fixpoint at query
+time (the reference implementation and test oracle), while
+:class:`repro.core.connection_index.ConnectionIndex` precomputes the
+fixpoint per *atomic* keyword offline and unions the per-atom evidence at
+query time — sound because the rules never mix keywords, so the fixpoint
+of ``Ext(k)`` equals the union of the fixpoints of its atoms.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, FrozenSet, Iterable, List, NamedTuple, Set, Tuple
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    NamedTuple,
+    Set,
+    Tuple,
+)
 
 from ..rdf.namespaces import S3_COMMENTS_ON, S3_CONTAINS, S3_RELATED_TO
 from ..rdf.terms import Term, URI, coerce_term
@@ -36,6 +54,10 @@ from .instance import S3Instance
 
 #: Placeholder source for contains-connections: resolved to the candidate.
 _SELF = URI("S3:__self__")
+
+#: ``node URI -> {(type, src)}`` — the per-attachment-node evidence of one
+#: query keyword, as produced by the fixpoint or by the precomputed index.
+Evidence = Mapping[URI, AbstractSet[Tuple[URI, URI]]]
 
 
 class Connection(NamedTuple):
@@ -46,6 +68,70 @@ class Connection(NamedTuple):
     source: URI
     #: ``|pos(d, f)|`` — structural distance from the candidate to ``f``.
     distance: int
+
+
+def covering_candidates(
+    instance: S3Instance,
+    component: Component,
+    evidence_by_keyword: Mapping[Term, Evidence],
+) -> List[URI]:
+    """Document nodes ``d`` with ``con(d, k) ≠ ∅`` for every keyword.
+
+    Since the score is a product over query keywords, only these can have
+    a non-zero score.  Coverage is computed bottom-up per tree; candidates
+    are emitted in post-order per sorted root (children before parents),
+    the canonical order both evaluation strategies share.
+    """
+    keywords = list(evidence_by_keyword)
+    candidates: List[URI] = []
+    for root in sorted(component.roots):
+        document = instance.documents[root]
+        coverage: Dict[URI, FrozenSet[int]] = {}
+
+        def visit(node) -> FrozenSet[int]:
+            covered = {
+                i
+                for i, keyword in enumerate(keywords)
+                if evidence_by_keyword[keyword].get(node.uri)
+            }
+            for child in node.children:
+                covered |= visit(child)
+            result = frozenset(covered)
+            coverage[node.uri] = result
+            return result
+
+        visit(document.root)
+        full = frozenset(range(len(keywords)))
+        candidates.extend(uri for uri, cov in coverage.items() if cov == full)
+    return candidates
+
+
+def resolve_connections(
+    instance: S3Instance, evidence: Evidence, candidate: URI
+) -> List[Connection]:
+    """Resolve ``con(candidate, k)`` from one keyword's *evidence* map.
+
+    Walks ``Frag(candidate)`` (the candidate's subtree), turns every
+    evidence pair into a :class:`Connection` with its structural distance
+    and the ``_SELF`` placeholder resolved to the candidate, and returns
+    the connections sorted (a canonical order shared by both evaluation
+    strategies).
+    """
+    document = instance.document_of(candidate)
+    if document is None:
+        return []
+    resolved: Set[Connection] = set()
+    base = document.node(candidate)
+    base_depth = base.depth
+    for node in base.iter_subtree():
+        pairs = evidence.get(node.uri)
+        if not pairs:
+            continue
+        distance = node.depth - base_depth
+        for ctype, src in pairs:
+            source = candidate if src == _SELF else src
+            resolved.add(Connection(ctype, node.uri, source, distance))
+    return sorted(resolved)
 
 
 class ComponentConnections:
@@ -164,53 +250,21 @@ class ComponentConnections:
     # ------------------------------------------------------------------
     # Candidate extraction and resolution
     # ------------------------------------------------------------------
+    def evidence(self, keyword: Term) -> Dict[URI, Set[Tuple[URI, URI]]]:
+        """Raw per-node evidence of *keyword* (the oracle hook used by the
+        :class:`~repro.core.connection_index.ConnectionIndex` equivalence
+        tests)."""
+        return self._evidence.get(keyword, {})
+
     def candidate_documents(self) -> List[URI]:
-        """Document nodes ``d`` with ``con(d, k) ≠ ∅`` for every keyword.
-
-        Since the score is a product over query keywords, only these can
-        have a non-zero score.  Coverage is computed bottom-up per tree.
-        """
-        keywords = list(self._extensions)
-        candidates: List[URI] = []
-        for root in sorted(self._component.roots):
-            document = self._instance.documents[root]
-            coverage: Dict[URI, FrozenSet[int]] = {}
-
-            def visit(node) -> FrozenSet[int]:
-                covered = {
-                    i
-                    for i, keyword in enumerate(keywords)
-                    if self._evidence[keyword].get(node.uri)
-                }
-                for child in node.children:
-                    covered |= visit(child)
-                result = frozenset(covered)
-                coverage[node.uri] = result
-                return result
-
-            visit(document.root)
-            full = frozenset(range(len(keywords)))
-            candidates.extend(uri for uri, cov in coverage.items() if cov == full)
-        return candidates
+        """Document nodes ``d`` with ``con(d, k) ≠ ∅`` for every keyword."""
+        return covering_candidates(self._instance, self._component, self._evidence)
 
     def connections(self, candidate: URI, keyword: Term) -> List[Connection]:
         """Resolve ``con(candidate, keyword)`` as a list of connections."""
-        document = self._instance.document_of(candidate)
-        if document is None:
-            return []
-        evidence = self._evidence.get(keyword, {})
-        resolved: Set[Connection] = set()
-        base = document.node(candidate)
-        base_depth = base.depth
-        for node in base.iter_subtree():
-            pairs = evidence.get(node.uri)
-            if not pairs:
-                continue
-            distance = node.depth - base_depth
-            for ctype, src in pairs:
-                source = candidate if src == _SELF else src
-                resolved.add(Connection(ctype, node.uri, source, distance))
-        return sorted(resolved)
+        return resolve_connections(
+            self._instance, self._evidence.get(keyword, {}), candidate
+        )
 
     def all_connections(self, candidate: URI) -> Dict[Term, List[Connection]]:
         """``con(candidate, k)`` for every query keyword."""

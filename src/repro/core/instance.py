@@ -69,6 +69,7 @@ class S3Instance:
         self._comment_targets: Dict[URI, List[URI]] = {}
         self._tags_on: Dict[URI, List[URI]] = {}
         self._saturated = False
+        self._version = 0
         self._add_s3_schema()
 
     # ------------------------------------------------------------------
@@ -89,7 +90,7 @@ class S3Instance:
         uri = URI(user)
         self.users.add(uri)
         self.graph.add(uri, RDF_TYPE, S3_USER)
-        self._saturated = False
+        self._invalidate()
         return uri
 
     def add_social_edge(
@@ -115,7 +116,7 @@ class S3Instance:
             self.graph.add(rel, RDFS_SUBPROPERTY, S3_SOCIAL)
             self.graph.add(src, rel, tgt, weight)
         self.graph.add(src, S3_SOCIAL, tgt, weight)
-        self._saturated = False
+        self._invalidate()
 
     # ------------------------------------------------------------------
     # Documents (Section 2.3)
@@ -144,7 +145,7 @@ class S3Instance:
                 self.graph.add(node.uri, S3_CONTAINS, coerce_term(keyword))
         if posted_by is not None:
             self.set_poster(root_uri, posted_by)
-        self._saturated = False
+        self._invalidate()
 
     def set_poster(
         self, doc: object, user: object, relation: Optional[object] = None
@@ -158,7 +159,7 @@ class S3Instance:
             self.graph.add(doc_uri, rel, user_uri)
         self.graph.add(doc_uri, S3_POSTED_BY, user_uri)
         self.graph.add(user_uri, inverse_property(S3_POSTED_BY), doc_uri)
-        self._saturated = False
+        self._invalidate()
 
     def add_comment_edge(
         self, comment: object, target: object, relation: Optional[object] = None
@@ -178,7 +179,7 @@ class S3Instance:
         self.graph.add(target_uri, inverse_property(S3_COMMENTS_ON), comment_uri)
         self._comments_of.setdefault(target_uri, []).append(comment_uri)
         self._comment_targets.setdefault(comment_uri, []).append(target_uri)
-        self._saturated = False
+        self._invalidate()
 
     # ------------------------------------------------------------------
     # Tags (Section 2.4)
@@ -201,7 +202,7 @@ class S3Instance:
         if tag.keyword is not None:
             self.graph.add(tag.uri, S3_HAS_KEYWORD, coerce_term(tag.keyword))
         self._tags_on.setdefault(tag.subject, []).append(tag.uri)
-        self._saturated = False
+        self._invalidate()
 
     # ------------------------------------------------------------------
     # Knowledge base (Section 2.1)
@@ -210,7 +211,7 @@ class S3Instance:
         """Bulk-add weight-1 RDF triples (ontology / facts)."""
         for s, p, o in triples:
             self.graph.add(URI(s), URI(p), coerce_term(o))
-        self._saturated = False
+        self._invalidate()
 
     # ------------------------------------------------------------------
     # Saturation
@@ -219,11 +220,32 @@ class S3Instance:
         """Saturate the instance graph; return the number of added triples."""
         added = saturate(self.graph)
         self._saturated = True
+        if added:
+            self._version += 1
         return added
 
     @property
     def is_saturated(self) -> bool:
         return self._saturated
+
+    # ------------------------------------------------------------------
+    # Mutation tracking
+    # ------------------------------------------------------------------
+    def _invalidate(self) -> None:
+        """Record a mutation: un-saturate and bump the version counter."""
+        self._saturated = False
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter.
+
+        Derived structures (the precomputed
+        :class:`~repro.core.connection_index.ConnectionIndex`, result
+        caches) record the version they were built against and rebuild
+        lazily when it moves.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # Views used by the search algorithm

@@ -9,6 +9,7 @@ from .measures import (
     spearman_footrule,
 )
 from .reporting import (
+    format_counter_table,
     format_latency_table,
     format_paper_comparison,
     format_table,
@@ -25,6 +26,7 @@ __all__ = [
     "spearman_footrule",
     "format_table",
     "format_paper_comparison",
+    "format_counter_table",
     "format_latency_table",
     "latency_percentiles",
 ]

@@ -51,6 +51,28 @@ def format_latency_table(
     return format_table(["series", *(f"{n} (ms)" for n in names)], table, title=title)
 
 
+def format_counter_table(
+    counters: Dict[str, Dict[str, int]], title: str = ""
+) -> str:
+    """One row of integer counters per labelled series.
+
+    Used for the engine's result-cache hit / miss / occupancy statistics
+    (``S3kSearch.cache_stats`` / ``BatchStats.cache_stats``): under heavy
+    hot-query traffic the hit ratio, alongside the latency percentiles,
+    is what sizes the cache.
+    """
+    names: List[str] = []
+    for summary in counters.values():
+        for name in summary:
+            if name not in names:
+                names.append(name)
+    rows = [
+        [label, *(str(summary.get(name, 0)) for name in names)]
+        for label, summary in counters.items()
+    ]
+    return format_table(["series", *names], rows, title=title)
+
+
 def format_table(
     headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
 ) -> str:

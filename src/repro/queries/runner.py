@@ -83,6 +83,9 @@ class BatchStats:
     #: exploration stopped
     deadline_misses: int = 0
     results: List[object] = field(default_factory=list)
+    #: engine result-cache hit / miss / occupancy counters observed right
+    #: after the run (all zero for engines without a result cache)
+    cache_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def n_queries(self) -> int:
@@ -133,6 +136,7 @@ def run_workload_batched(
             if deadline is not None and result.wall_time >= deadline:
                 stats.deadline_misses += 1
         stats.results.extend(results)
+    stats.cache_stats = dict(getattr(engine, "cache_stats", {}) or {})
     return stats
 
 

@@ -1,0 +1,354 @@
+"""ConnectionIndex equivalence, persistence and the result cache (ISSUE 2).
+
+The contract under test: the precomputed per-atom evidence of
+:class:`repro.core.connection_index.ConnectionIndex` equals the
+:class:`repro.core.connections.ComponentConnections` worklist fixpoint —
+per atom and per union-of-extension — on the paper fixtures and on
+randomized instances; ``search`` / ``search_many`` with the index enabled
+stay bit-identical to the fixpoint engine (and hence to the exhaustive
+oracle); a persisted index reloads into an equivalent warm state; and the
+LRU result cache replays identical answers with working counters and
+invalidation.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ComponentConnections,
+    ComponentIndex,
+    ConnectionIndex,
+    S3kSearch,
+    extend_query,
+)
+from repro.rdf import URI, Literal
+from repro.storage import SQLiteStore
+
+from .fixtures import figure1_instance, figure3_instance, two_community_instance
+from .instance_gen import VOCABULARY, random_instance
+
+#: Randomized instances checked for index/fixpoint agreement
+#: (acceptance criterion: >= 50).
+N_RANDOM_INSTANCES = 50
+
+
+def _fixpoint_engine(instance) -> S3kSearch:
+    """The PR 1 reference configuration: no index, no caches."""
+    return S3kSearch(
+        instance,
+        use_connection_index=False,
+        result_cache_size=0,
+        plan_cache_size=0,
+    )
+
+
+def _assert_evidence_matches(instance, rng=None):
+    """Per-atom and per-union evidence equality over every component."""
+    component_index = ComponentIndex(instance)
+    index = ConnectionIndex(instance, component_index)
+    for component in component_index.components():
+        atoms = sorted(component.keywords)
+        for atom in atoms:
+            oracle = ComponentConnections(instance, component, {atom: {atom}})
+            assert index.keyword_evidence(component.ident, {atom}) == (
+                oracle.evidence(atom)
+            ), f"component {component.ident}, atom {atom!r}"
+        if not atoms:
+            continue
+        local = rng if rng is not None else random.Random(component.ident)
+        for _ in range(3):
+            extension = set(
+                local.sample(atoms, local.randint(1, min(3, len(atoms))))
+            )
+            keyword = next(iter(extension))
+            oracle = ComponentConnections(
+                instance, component, {keyword: extension}
+            )
+            assert index.keyword_evidence(component.ident, extension) == (
+                oracle.evidence(keyword)
+            ), f"component {component.ident}, extension {extension!r}"
+            assert index.candidate_documents(
+                component.ident, {keyword: extension}
+            ) == oracle.candidate_documents()
+
+
+class TestEvidenceEquivalence:
+    def test_figure1(self):
+        _assert_evidence_matches(figure1_instance())
+
+    def test_figure3(self):
+        _assert_evidence_matches(figure3_instance())
+
+    def test_two_communities(self):
+        _assert_evidence_matches(two_community_instance())
+
+    def test_figure1_query_extension(self):
+        # The paper's own extension: Ext("degre") ∋ kb:MS (d1's content) —
+        # union of the two atom slices equals the multi-keyword fixpoint.
+        instance = figure1_instance()
+        component_index = ComponentIndex(instance)
+        component = component_index.component_of(URI("d0"))
+        extensions = extend_query(instance, (Literal("degre"),))
+        index = ConnectionIndex(instance, component_index)
+        oracle = ComponentConnections(instance, component, extensions)
+        for keyword, extension in extensions.items():
+            assert index.keyword_evidence(component.ident, extension) == (
+                oracle.evidence(keyword)
+            )
+
+    def test_multi_keyword_candidates(self):
+        instance = figure1_instance()
+        component_index = ComponentIndex(instance)
+        component = component_index.component_of(URI("d0"))
+        terms = {
+            Literal("debate"): {Literal("debate")},
+            Literal("campus"): {Literal("campus")},
+        }
+        index = ConnectionIndex(instance, component_index)
+        oracle = ComponentConnections(instance, component, terms)
+        assert index.candidate_documents(component.ident, terms) == (
+            oracle.candidate_documents()
+        )
+
+    def test_absent_keyword_has_no_candidates(self):
+        instance = figure1_instance()
+        component_index = ComponentIndex(instance)
+        component = component_index.component_of(URI("d0"))
+        terms = {Literal("zzz"): {Literal("zzz")}}
+        index = ConnectionIndex(instance, component_index)
+        assert index.keyword_evidence(component.ident, {Literal("zzz")}) == {}
+        assert index.candidate_documents(component.ident, terms) == []
+
+    @pytest.mark.parametrize("seed", range(N_RANDOM_INSTANCES))
+    def test_randomized(self, seed):
+        rng = random.Random(seed)
+        _assert_evidence_matches(random_instance(rng), rng)
+
+
+class TestSearchEquivalence:
+    """Index-enabled engines answer bit-identically to the fixpoint path."""
+
+    def test_figure1_grid(self):
+        instance = figure1_instance()
+        indexed = S3kSearch(instance)
+        fixpoint = _fixpoint_engine(instance)
+        for seeker in ("u0", "u1", "u4"):
+            for keywords in (["debate"], ["degre"], ["university", "degre"]):
+                for k in (1, 3, 5):
+                    a = indexed.search(seeker, keywords, k=k)
+                    b = fixpoint.search(seeker, keywords, k=k)
+                    assert a.results == b.results
+                    assert a.iterations == b.iterations
+                    assert a.terminated_by == b.terminated_by
+
+    @pytest.mark.parametrize("seed", range(N_RANDOM_INSTANCES))
+    def test_randomized(self, seed):
+        rng = random.Random(seed)
+        instance = random_instance(rng)
+        indexed = S3kSearch(instance, result_cache_size=0)
+        fixpoint = _fixpoint_engine(instance)
+        seekers = sorted(instance.users)
+        queries = [
+            (
+                rng.choice(seekers),
+                rng.sample(VOCABULARY, rng.randint(1, 2)),
+                rng.choice([1, 3, 5]),
+            )
+            for _ in range(3)
+        ]
+        batch_indexed = indexed.search_many(queries)
+        batch_fixpoint = fixpoint.search_many(queries)
+        for query, a, b in zip(queries, batch_indexed, batch_fixpoint):
+            assert a.results == b.results, query
+            assert a.iterations == b.iterations
+            assert a.terminated_by == b.terminated_by
+            single = fixpoint.search(query[0], query[1], k=query[2])
+            assert a.results == single.results
+
+
+class TestPersistence:
+    def test_round_trip_evidence_and_search(self, tmp_path):
+        rng = random.Random(7)
+        instance = random_instance(rng)
+        index = ConnectionIndex(instance).ensure_all()
+        path = tmp_path / "instance.db"
+        with SQLiteStore(path) as store:
+            store.save_instance(instance)
+            assert store.save_connection_index(index) == len(
+                index.component_index
+            )
+            assert store.connection_index_slab_count() == len(
+                index.component_index
+            )
+        with SQLiteStore(path) as store:
+            reloaded = store.load_instance()
+            warm = store.load_connection_index(reloaded)
+            # Every slab adopted: nothing rebuilds.
+            assert len(warm._slabs) == len(warm.component_index)
+            assert warm.build_seconds == 0.0
+            fresh = ConnectionIndex(reloaded)
+            for component in warm.component_index.components():
+                for atom in sorted(component.keywords):
+                    assert warm.keyword_evidence(
+                        component.ident, {atom}
+                    ) == fresh.keyword_evidence(component.ident, {atom})
+            engine = S3kSearch(
+                reloaded, connection_index=warm, result_cache_size=0
+            )
+            reference = _fixpoint_engine(reloaded)
+            for seeker in sorted(reloaded.users)[:3]:
+                a = engine.search(seeker, ["alpha"], k=3)
+                b = reference.search(seeker, ["alpha"], k=3)
+                assert a.results == b.results
+
+    def test_stale_slabs_are_skipped(self, tmp_path):
+        rng = random.Random(11)
+        instance = random_instance(rng)
+        index = ConnectionIndex(instance).ensure_all()
+        path = tmp_path / "instance.db"
+        with SQLiteStore(path) as store:
+            store.save_instance(instance)
+            store.save_connection_index(index)
+            # A different instance: the stored slabs no longer match.
+            other = random_instance(random.Random(12))
+            warm = store.load_connection_index(other)
+            # Whatever was not adopted rebuilds lazily and stays correct.
+            _assert_evidence_matches(other)
+            for component in warm.component_index.components():
+                for atom in sorted(component.keywords):
+                    oracle = ComponentConnections(
+                        other, component, {atom: {atom}}
+                    )
+                    assert warm.keyword_evidence(
+                        component.ident, {atom}
+                    ) == oracle.evidence(atom)
+
+    def test_mutation_invalidates_slabs(self):
+        instance = figure1_instance()
+        index = ConnectionIndex(instance).ensure_all()
+        component_index = index.component_index
+        component = component_index.component_of(URI("d0"))
+        before = index.keyword_evidence(component.ident, {Literal("debate")})
+        assert before
+        # Mutating the instance bumps the version; the slab rebuilds and
+        # still matches the fixpoint on the mutated instance.
+        from repro.social import Tag
+
+        instance.add_tag(
+            Tag(URI("t:new"), URI("d0.1"), URI("u2"), keyword="debate")
+        )
+        instance.saturate()
+        oracle = ComponentConnections(
+            instance, component, {Literal("debate"): {Literal("debate")}}
+        )
+        assert index.keyword_evidence(component.ident, {Literal("debate")}) == (
+            oracle.evidence(Literal("debate"))
+        )
+
+
+class TestResultCache:
+    def test_hits_and_misses(self):
+        engine = S3kSearch(figure1_instance())
+        assert engine.cache_stats == {
+            "hits": 0,
+            "misses": 0,
+            "size": 0,
+            "maxsize": 1024,
+        }
+        first = engine.search("u1", ["debate"], k=3)
+        assert engine.cache_stats["misses"] == 1
+        replayed = engine.search("u1", ["debate"], k=3)
+        assert engine.cache_stats["hits"] == 1
+        assert replayed.results == first.results
+        assert replayed.iterations == first.iterations
+
+    def test_cache_generalizes_across_batches(self):
+        engine = S3kSearch(figure1_instance())
+        queries = [("u1", ["debate"], 3), ("u0", ["degre"], 3)]
+        cold = engine.search_many(queries)
+        warm = engine.search_many(queries)
+        assert engine.cache_stats["hits"] == 2
+        for a, b in zip(cold, warm):
+            assert a.results == b.results
+
+    def test_key_includes_semantics_and_k(self):
+        engine = S3kSearch(figure1_instance())
+        engine.search("u1", ["degre"], k=3)
+        engine.search("u1", ["degre"], k=3, semantic=False)
+        engine.search("u1", ["degre"], k=5)
+        assert engine.cache_stats["hits"] == 0
+        assert engine.cache_stats["misses"] == 3
+
+    def test_budget_queries_bypass_cache(self):
+        engine = S3kSearch(figure1_instance())
+        engine.search("u1", ["debate"], k=3, max_iterations=1)
+        engine.search("u1", ["debate"], k=3, time_budget=10.0)
+        assert engine.cache_stats == {
+            "hits": 0,
+            "misses": 0,
+            "size": 0,
+            "maxsize": 1024,
+        }
+
+    def test_mutation_drops_cached_answers_and_plans(self):
+        # Caches self-invalidate against S3Instance.version: a query after
+        # a mutation recomputes (a miss) instead of replaying the
+        # pre-mutation answer.  (Structural indexes are per-engine; full
+        # freshness after mutations needs a new engine — see the
+        # S3kSearch.invalidate docstring.)
+        from repro.social import Tag
+
+        instance = figure1_instance()
+        engine = S3kSearch(instance)
+        engine.search("u1", ["debate"], k=5)
+        assert engine.cache_stats["size"] == 1
+        instance.add_tag(
+            Tag(URI("t:late"), URI("d0.1"), URI("u2"), keyword="zeta")
+        )
+        instance.saturate()
+        engine.search("u1", ["debate"], k=5)
+        assert engine.cache_stats["misses"] == 2
+        assert engine.cache_stats["hits"] == 0
+        assert engine.cache_stats["size"] == 1
+
+    def test_invalidate_clears_entries(self):
+        engine = S3kSearch(figure1_instance())
+        engine.search("u1", ["debate"], k=3)
+        assert engine.cache_stats["size"] == 1
+        engine.invalidate()
+        assert engine.cache_stats["size"] == 0
+        engine.search("u1", ["debate"], k=3)
+        assert engine.cache_stats["misses"] == 2
+
+    def test_bounded_eviction(self):
+        engine = S3kSearch(figure1_instance(), result_cache_size=2)
+        for keywords in (["debate"], ["degre"], ["university"]):
+            engine.search("u1", keywords, k=3)
+        assert engine.cache_stats["size"] == 2
+        # The oldest entry was evicted; re-asking it misses again.
+        engine.search("u1", ["debate"], k=3)
+        assert engine.cache_stats["hits"] == 0
+
+    def test_disabled_cache(self):
+        engine = S3kSearch(figure1_instance(), result_cache_size=0)
+        engine.search("u1", ["debate"], k=3)
+        engine.search("u1", ["debate"], k=3)
+        assert engine.cache_stats == {
+            "hits": 0,
+            "misses": 0,
+            "size": 0,
+            "maxsize": 0,
+        }
+
+    def test_batch_stats_surface_cache_counters(self):
+        from repro.queries import Workload, run_workload_batched
+        from repro.queries.workload import QuerySpec
+
+        engine = S3kSearch(figure1_instance())
+        workload = Workload(name="w", frequency="+", n_keywords=1, k=3)
+        workload.queries = [QuerySpec(URI("u1"), (Literal("debate"),), 3)] * 2
+        run_workload_batched(engine, workload, batch_size=2)
+        stats = run_workload_batched(engine, workload, batch_size=2)
+        assert stats.cache_stats["hits"] >= 1
+        assert stats.cache_stats["misses"] >= 1
