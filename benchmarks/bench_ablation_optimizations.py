@@ -18,7 +18,7 @@ import pytest
 
 from repro.core import S3kSearch
 from repro.eval import format_table
-from repro.queries import WorkloadBuilder, run_workload, s3k_runner
+from repro.queries import WorkloadBuilder, run_workload, engine_runner
 from repro.rdf import RDFGraph, RDFS_SUBCLASS, RDF_TYPE, Triple, URI, add_and_saturate, saturate
 from repro.storage import SQLiteStore
 
@@ -34,7 +34,7 @@ def test_border_propagation_mode(benchmark, twitter_instance, engines, use_matri
         "+", 1, 5, QUERIES_PER_WORKLOAD
     )
     summary = benchmark.pedantic(
-        run_workload, args=(s3k_runner(engine), workload), rounds=1, iterations=1
+        run_workload, args=(engine_runner(engine), workload), rounds=1, iterations=1
     )
     RESULTS["matrix" if use_matrix else "naive"] = summary.median
     assert summary.times

@@ -13,7 +13,7 @@ from typing import Dict, Tuple
 import pytest
 
 from repro.eval import format_table
-from repro.queries import WorkloadBuilder, run_workload, s3k_runner, topks_runner
+from repro.queries import WorkloadBuilder, run_workload, engine_runner, topks_runner
 
 from benchmarks.conftest import QUERIES_PER_WORKLOAD, write_result
 
@@ -39,7 +39,7 @@ def test_s3k_workload(benchmark, twitter_instance, engines, f, l, k, gamma):
     engine = engines.s3k(twitter_instance, gamma=gamma)
     workload = _workload(twitter_instance, f, l, k)
     summary = benchmark.pedantic(
-        run_workload, args=(s3k_runner(engine), workload), rounds=1, iterations=1
+        run_workload, args=(engine_runner(engine), workload), rounds=1, iterations=1
     )
     MEDIANS[(f"S3k γ={gamma}", workload.name)] = summary.median
     assert summary.times

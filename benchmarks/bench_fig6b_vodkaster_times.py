@@ -10,7 +10,7 @@ from typing import Dict, Tuple
 import pytest
 
 from repro.eval import format_table
-from repro.queries import WorkloadBuilder, run_workload, s3k_runner, topks_runner
+from repro.queries import WorkloadBuilder, run_workload, engine_runner, topks_runner
 
 from benchmarks.conftest import QUERIES_PER_WORKLOAD, write_result
 
@@ -27,7 +27,7 @@ def test_workload(benchmark, vodkaster_instance, engines, f, l, k, engine_kind):
     )
     if engine_kind.startswith("s3k"):
         engine = engines.s3k(vodkaster_instance, gamma=float(engine_kind.split("_")[1]))
-        runner = s3k_runner(engine)
+        runner = engine_runner(engine)
         label = f"S3k γ={engine_kind.split('_')[1]}"
     else:
         searcher = engines.topks(vodkaster_instance, alpha=0.5)

@@ -12,7 +12,7 @@ from typing import Dict, Tuple
 import pytest
 
 from repro.eval import format_table
-from repro.queries import WorkloadBuilder, run_workload, s3k_runner
+from repro.queries import WorkloadBuilder, run_workload, engine_runner
 
 from benchmarks.conftest import QUERIES_PER_WORKLOAD, write_result
 
@@ -31,7 +31,7 @@ def test_vary_k(benchmark, twitter_instance, engines, f, k, gamma):
         f, 1, k, QUERIES_PER_WORKLOAD
     )
     summary = benchmark.pedantic(
-        run_workload, args=(s3k_runner(engine), workload), rounds=1, iterations=1
+        run_workload, args=(engine_runner(engine), workload), rounds=1, iterations=1
     )
     QUARTILES[(f"γ={gamma}", f"({f},1,{k})")] = summary.quartiles()
     assert summary.times

@@ -1,0 +1,207 @@
+"""Async serving latency: micro-batched ``engine.asearch`` under traffic.
+
+The batched executor benchmarks (``bench_batch_throughput``) measure
+*offline* throughput — the whole workload is known up front.  Serving
+flips the question: requests arrive one by one, and the
+:class:`~repro.engine.batcher.Batcher` must trade a small, bounded
+queueing delay (the micro-batch deadline) for the lock-step execution
+wins, while collapsing duplicate in-flight requests outright.
+
+This bench replays two traffic mixes on the I1-shaped instance through
+``await engine.asearch(...)`` with staggered arrivals:
+
+* ``uniform`` — effectively unique requests: measures the pure
+  micro-batching overhead (p99 must stay within the per-request budget);
+* ``hot`` — Zipf-skewed trending traffic: duplicate in-flight requests
+  must collapse (measured collapse rate > 1) on top of the result-cache
+  replay.
+
+All served answers are asserted bit-identical to sequential
+``S3kSearch.search``.  Emits ``BENCH_serving_latency.json`` (schema in
+:mod:`benchmarks.emit`) with per-mix qps, latency percentiles and the
+batcher's flush/collapse counters.
+"""
+
+import asyncio
+import random
+import time
+from typing import List, Tuple
+
+from repro import Engine, EngineConfig, S3kSearch
+from repro.eval import format_table, latency_percentiles
+from repro.queries.workload import (
+    QuerySpec,
+    connected_seekers,
+    document_frequencies,
+    frequency_buckets,
+)
+
+from benchmarks.conftest import write_result
+from benchmarks.emit import workload_entry, write_bench_json
+
+N_REQUESTS = 96
+SEED = 23
+#: Micro-batch knobs: the window closes at 16 requests or after 5 ms.
+MAX_BATCH_SIZE = 16
+BATCH_DEADLINE = 0.005
+#: Per-request latency SLO the p99 must stay within (acceptance bound;
+#: generous because shared CI runners are slow and the budget covers a
+#: full exploration plus one batch window).
+LATENCY_BUDGET = 0.25
+#: Arrival stagger between submissions, seconds.
+ARRIVAL_GAP = 0.0003
+#: (mix name, request-pool size, Zipf exponent).
+TRAFFIC_MIXES = (
+    ("uniform", N_REQUESTS * 4, 0.0),
+    ("hot", 12, 1.1),
+)
+
+
+def _traffic(instance, pool_size: int, zipf_s: float) -> List[QuerySpec]:
+    rng = random.Random(SEED)
+    _, common = frequency_buckets(document_frequencies(instance))
+    seekers = connected_seekers(instance)
+    pool = [
+        QuerySpec(rng.choice(seekers), (rng.choice(common),), 5)
+        for _ in range(pool_size)
+    ]
+    weights = [1.0 / (rank + 1) ** zipf_s for rank in range(pool_size)]
+    return rng.choices(pool, weights=weights, k=N_REQUESTS)
+
+
+async def _drive(engine: Engine, specs: List[QuerySpec]) -> Tuple[List[float], list]:
+    """Submit every spec with staggered arrivals; per-request latencies."""
+    latencies: List[float] = [0.0] * len(specs)
+    responses: list = [None] * len(specs)
+
+    async def one(position: int, spec: QuerySpec) -> None:
+        started = time.perf_counter()
+        responses[position] = await engine.asearch(spec)
+        latencies[position] = time.perf_counter() - started
+
+    tasks = []
+    for position, spec in enumerate(specs):
+        tasks.append(asyncio.create_task(one(position, spec)))
+        await asyncio.sleep(ARRIVAL_GAP)
+    await asyncio.gather(*tasks)
+    await engine.aclose()
+    return latencies, responses
+
+
+def test_serving_latency(benchmark, twitter_instance):
+    instance = twitter_instance
+    # Sequential baseline: one bare kernel, no result cache, so the
+    # baseline pays the exploration for every duplicate request too.
+    kernel = S3kSearch(instance, result_cache_size=0)
+
+    rows: List[List[object]] = []
+    workload_records = []
+    batcher_records = {}
+    p99_by_mix = {}
+    collapse_by_mix = {}
+    for name, pool_size, zipf_s in TRAFFIC_MIXES:
+        specs = _traffic(instance, pool_size, zipf_s)
+        unique = len({(s.seeker, s.keywords, s.k) for s in specs})
+        # result_cache_size=0 on BOTH sides: the serving numbers measure
+        # micro-batching + in-flight collapsing, not cross-request answer
+        # replay (a warmed result cache would let the warm-up answer part
+        # of the timed workload for free).
+        engine = Engine(
+            instance,
+            config=EngineConfig(
+                max_batch_size=MAX_BATCH_SIZE,
+                batch_deadline=BATCH_DEADLINE,
+                result_cache_size=0,
+            ),
+        )
+        engine.warm()
+        # Warm both engines' lazy structures out of the timed region.
+        engine.search_many(specs[:8])
+        for spec in specs[:8]:
+            kernel.search(spec.seeker, spec.keywords, k=spec.k)
+
+        serve_started = time.perf_counter()
+        latencies, responses = asyncio.run(_drive(engine, specs))
+        serve_seconds = time.perf_counter() - serve_started
+
+        sequential_started = time.perf_counter()
+        sequential = [
+            kernel.search(spec.seeker, spec.keywords, k=spec.k) for spec in specs
+        ]
+        sequential_seconds = time.perf_counter() - sequential_started
+
+        for response, single in zip(responses, sequential):
+            assert response.result.results == single.results  # bit-identical
+
+        summary = latency_percentiles(latencies)
+        batcher = engine.stats()["batcher"]
+        batcher_records[name] = batcher
+        p99_by_mix[name] = summary["p99"]
+        collapse_by_mix[name] = batcher["collapse_rate"]
+        workload_records.append(
+            workload_entry(
+                name,
+                unique,
+                baseline_qps=N_REQUESTS / sequential_seconds,
+                qps=N_REQUESTS / serve_seconds,
+                latencies_ms={
+                    key: value * 1e3 for key, value in summary.items()
+                },
+            )
+        )
+        rows.append(
+            [
+                name,
+                f"{unique}/{N_REQUESTS}",
+                f"{N_REQUESTS / sequential_seconds:.0f}",
+                f"{N_REQUESTS / serve_seconds:.0f}",
+                f"{summary['p50'] * 1e3:.2f} ms",
+                f"{summary['p99'] * 1e3:.2f} ms",
+                f"{batcher['mean_batch_size']:.1f}",
+                f"{batcher['collapse_rate']:.2f}",
+            ]
+        )
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "traffic mix",
+            "unique",
+            "seq q/s",
+            "served q/s",
+            "p50",
+            "p99",
+            "mean batch",
+            "collapse rate",
+        ],
+        rows,
+        title=(
+            f"async serving on I1 ({N_REQUESTS} requests, "
+            f"batch<= {MAX_BATCH_SIZE}, deadline {BATCH_DEADLINE * 1e3:.0f} ms)"
+        ),
+    )
+    write_result("serving_latency", table)
+
+    write_bench_json(
+        "serving_latency",
+        {
+            "instance": "I1",
+            "seed": SEED,
+            "n_queries": N_REQUESTS,
+            "batch_size": MAX_BATCH_SIZE,
+            "batch_deadline_ms": BATCH_DEADLINE * 1e3,
+            "latency_budget_ms": LATENCY_BUDGET * 1e3,
+            "workloads": workload_records,
+            "batcher": batcher_records,
+        },
+    )
+
+    for name, p99 in p99_by_mix.items():
+        assert p99 <= LATENCY_BUDGET, (
+            f"{name}: micro-batched p99 {p99 * 1e3:.1f} ms exceeds the "
+            f"{LATENCY_BUDGET * 1e3:.0f} ms budget"
+        )
+    assert collapse_by_mix["hot"] > 1.0, (
+        f"hot traffic should collapse duplicate in-flight requests, "
+        f"measured rate {collapse_by_mix['hot']:.2f}"
+    )

@@ -8,7 +8,7 @@ graduates.
 Run:  python examples/quickstart.py
 """
 
-from repro import S3Instance, S3kSearch, Tag, URI
+from repro import Engine, S3Instance, Tag, URI
 from repro.documents import Document, build_document
 from repro.rdf import RDFS_SUBCLASS, Literal
 
@@ -58,10 +58,12 @@ def main() -> None:
     instance = build_instance()
     print(instance)
 
-    engine = S3kSearch(instance)
+    # The Engine facade owns the kernel, indexes and caches; it answers
+    # queries synchronously here (see serve_async.py for the async path).
+    engine = Engine(instance)
 
     print("\nQuery: u1 searches for 'degre' (think: university graduates)")
-    result = engine.search("u1", ["degre"], k=3)
+    result = engine.search("u1", ["degre"], k=3).result
     for rank, item in enumerate(result.results, start=1):
         print(f"  {rank}. {item.uri}   score ∈ [{item.lower:.4f}, {item.upper:.4f}]")
     print(
@@ -74,7 +76,7 @@ def main() -> None:
     )
 
     print("\nSame query without semantic extension:")
-    plain = engine.search("u1", ["degre"], k=3, semantic=False)
+    plain = engine.search("u1", ["degre"], k=3, semantic=False).result
     for rank, item in enumerate(plain.results, start=1):
         print(f"  {rank}. {item.uri}   score ∈ [{item.lower:.4f}, {item.upper:.4f}]")
     missing = set(result.uris) - set(plain.uris)
@@ -87,7 +89,8 @@ def main() -> None:
         ("u4", ["university"]),
         ("u1", ["degre"]),  # duplicate in-flight query: coalesced
     ]
-    for batched in engine.search_many(queries, k=3):
+    for response in engine.search_many(queries, k=3):
+        batched = response.result
         print(
             f"  #{batched.batch_index} {batched.seeker} "
             f"{[str(kw) for kw in batched.keywords]} -> "

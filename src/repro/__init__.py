@@ -8,17 +8,20 @@ baseline, dataset generators shaped after the paper's Twitter / Vodkaster
 
 Quickstart::
 
-    from repro import S3Instance, S3kSearch, parse_text, Tag
+    from repro import Engine, S3Instance, parse_text, Tag
 
     instance = S3Instance()
     instance.add_social_edge("u:alice", "u:bob", 0.8)
     instance.add_document(parse_text("d:post", "A degree helps"), posted_by="u:bob")
     instance.add_tag(Tag("t:1", "d:post", "u:alice", keyword="degre"))
-    instance.saturate()
 
-    engine = S3kSearch(instance)
+    engine = Engine(instance)
     for result in engine.search("u:alice", ["degre"], k=3).results:
         print(result.uri, result.lower, result.upper)
+
+The :class:`Engine` facade owns the serving lifecycle (indexes, caches,
+invalidation, async micro-batching via ``await engine.asearch(...)``);
+:class:`S3kSearch` remains available as the internal compute kernel.
 """
 
 from .core import (
@@ -30,14 +33,26 @@ from .core import (
     keyword_extension,
 )
 from .documents import Document, DocumentNode, parse_json, parse_text, parse_xml
+from .engine import (
+    Engine,
+    EngineConfig,
+    QueryRequest,
+    QueryResponse,
+    StaleIndexError,
+)
 from .rdf import Literal, RDFGraph, URI
 from .social import SocialNetwork, Tag
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "S3Instance",
     "S3kSearch",
+    "Engine",
+    "EngineConfig",
+    "QueryRequest",
+    "QueryResponse",
+    "StaleIndexError",
     "S3kScore",
     "SearchResult",
     "keyword_extension",

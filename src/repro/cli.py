@@ -1,4 +1,4 @@
-"""Command-line interface: generate, index, search, batch, compare.
+"""Command-line interface: generate, index, search, batch, serve, compare.
 
 Usage::
 
@@ -6,18 +6,23 @@ Usage::
     python -m repro index    --db i1.db
     python -m repro search   --db i1.db --seeker tw:u0 --keywords w0 w3 -k 5
     python -m repro batch    --db i1.db --queries 64 --batch-size 32
+    python -m repro serve    --db i1.db < requests.jsonl
     python -m repro compare  --db i1.db --queries 10
 
 ``generate`` builds one of the three paper-shaped instances and persists
 it to SQLite; ``index`` prebuilds the per-keyword ConnectionIndex and
 persists it next to the instance (later runs start warm, with zero
-query-time fixpoint work); ``search`` answers a single S3k query against
-a stored instance; ``batch`` runs a generated workload through the
-batched ``search_many`` executor and reports throughput, latency
-percentiles, index build cost and result-cache counters (optionally
-against the sequential baseline); ``compare`` runs the Figure 8
-qualitative comparison between S3k and the TopkS baseline on generated
-workloads.
+query-time fixpoint work); ``search`` answers a single S3k query;
+``batch`` runs a generated workload through the batched executor and
+reports throughput, latency percentiles and the engine's merged stats;
+``serve`` answers JSONL requests from stdin (or a file) through the
+async micro-batching path, one JSON answer per line; ``compare`` runs
+the Figure 8 qualitative comparison between S3k and the TopkS baseline.
+
+Every query-answering subcommand goes through the
+:class:`~repro.engine.facade.Engine` facade — a stored index slab that
+no longer matches the instance aborts with a clear error unless
+``--rebuild-stale-index`` opts into lazy rebuilding.
 """
 
 from __future__ import annotations
@@ -26,15 +31,15 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .baselines import TopkSSearcher, uit_from_instance
-from .core import S3kScore, S3kSearch
+from .core import S3kScore
 from .datasets import (
     build_twitter_instance,
     build_vodkaster_instance,
     build_yelp_instance,
     compute_stats,
 )
-from .eval import compare_engines, format_counter_table, format_table
+from .engine import Engine, EngineConfig, StaleIndexError
+from .eval import compare_engines, format_engine_stats, format_table
 from .queries import WorkloadBuilder
 from .storage import SQLiteStore
 
@@ -43,6 +48,15 @@ _GENERATORS = {
     "vodkaster": lambda config=None: build_vodkaster_instance(config).instance,
     "yelp": lambda config=None: build_yelp_instance(config).instance,
 }
+
+
+def _add_stale_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--rebuild-stale-index",
+        action="store_true",
+        help="rebuild persisted index slabs that no longer match the "
+        "instance instead of aborting",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -74,6 +88,7 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--no-semantics", action="store_true", help="disable keyword extension"
     )
+    _add_stale_flag(search)
 
     batch = commands.add_parser(
         "batch", help="run a workload through the batched executor"
@@ -103,6 +118,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="gather candidates with the query-time fixpoint instead of "
         "the precomputed ConnectionIndex",
     )
+    _add_stale_flag(batch)
+
+    serve = commands.add_parser(
+        "serve",
+        help="answer JSONL queries from stdin through the async "
+        "micro-batching engine",
+    )
+    serve.add_argument("--db", required=True, help="SQLite file from `generate`")
+    serve.add_argument(
+        "--input", default=None,
+        help="JSONL request file (default: read stdin until EOF)",
+    )
+    serve.add_argument("-k", type=int, default=5, help="default k per request")
+    serve.add_argument(
+        "--max-batch-size", type=int, default=32,
+        help="micro-batch size bound (size flush)",
+    )
+    serve.add_argument(
+        "--batch-deadline", type=float, default=0.005,
+        help="micro-batch latency budget in seconds (deadline flush)",
+    )
+    serve.add_argument(
+        "--stats", action="store_true",
+        help="print the engine stats table to stderr after the stream ends",
+    )
+    _add_stale_flag(serve)
 
     compare = commands.add_parser("compare", help="S3k vs TopkS quality measures")
     compare.add_argument("--db", required=True)
@@ -110,6 +151,17 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--alpha", type=float, default=0.5)
     compare.add_argument("--seed", type=int, default=0)
     return parser
+
+
+def _engine_from_args(
+    args: argparse.Namespace,
+    *,
+    score: Optional[S3kScore] = None,
+    config: Optional[EngineConfig] = None,
+) -> Engine:
+    """Build the Engine facade for a query-answering subcommand."""
+    stale = "rebuild" if getattr(args, "rebuild_stale_index", False) else "error"
+    return Engine.from_store(args.db, score=score, config=config, stale_slabs=stale)
 
 
 def _generate(args: argparse.Namespace) -> int:
@@ -153,17 +205,13 @@ def _index(args: argparse.Namespace) -> int:
 
 
 def _search(args: argparse.Namespace) -> int:
-    with SQLiteStore(args.db) as store:
-        instance = store.load_instance()
-        connection_index = store.load_connection_index(instance)
-    engine = S3kSearch(
-        instance,
-        score=S3kScore(gamma=args.gamma, eta=args.eta),
-        connection_index=connection_index,
+    engine = _engine_from_args(
+        args, score=S3kScore(gamma=args.gamma, eta=args.eta)
     )
-    result = engine.search(
+    response = engine.search(
         args.seeker, args.keywords, k=args.k, semantic=not args.no_semantics
     )
+    result = response.result
     if not result.results:
         print("no results")
     for rank, ranked in enumerate(result.results, start=1):
@@ -179,30 +227,14 @@ def _search(args: argparse.Namespace) -> int:
 def _batch(args: argparse.Namespace) -> int:
     import time
 
-    from .queries import run_workload, run_workload_batched, s3k_runner
+    from .queries import engine_runner, run_workload, run_workload_batched
 
-    with SQLiteStore(args.db) as store:
-        instance = store.load_instance()
-        persisted_slabs = store.connection_index_slab_count()
-        connection_index = (
-            store.load_connection_index(instance)
-            if not args.no_connection_index
-            else None
-        )
-    engine = S3kSearch(
-        instance,
-        connection_index=connection_index,
+    config = EngineConfig(
+        default_k=args.k,
         use_connection_index=not args.no_connection_index,
     )
-    # Slabs present right after construction were adopted from the store;
-    # whatever appears later was built lazily during the run (persisted
-    # rows that no longer match the instance are skipped on load).
-    adopted_slabs = (
-        int(engine.connection_index.stats()["components_built"])
-        if engine.connection_index is not None
-        else 0
-    )
-    builder = WorkloadBuilder(instance, seed=args.seed)
+    engine = _engine_from_args(args, config=config)
+    builder = WorkloadBuilder(engine.instance, seed=args.seed)
     workload = builder.build(args.frequency, args.n_keywords, args.k, args.queries)
 
     stats = run_workload_batched(
@@ -219,32 +251,21 @@ def _batch(args: argparse.Namespace) -> int:
         [f"latency {name}", f"{value * 1e3:.2f} ms"]
         for name, value in stats.latency_summary().items()
     )
-    if engine.connection_index is not None:
-        index_stats = engine.connection_index.stats()
-        rows.append(["index slabs (persisted)", persisted_slabs])
-        rows.append(["index slabs (adopted)", adopted_slabs])
-        rows.append(
-            [
-                "index slabs (built lazily)",
-                int(index_stats["components_built"]) - adopted_slabs,
-            ]
-        )
-        rows.append(["index size", f"{index_stats['size_bytes'] / 1024:.1f} KiB"])
-        rows.append(
-            ["index build time", f"{index_stats['build_seconds'] * 1e3:.1f} ms"]
-        )
     if args.compare_sequential:
         # The baseline gets the same per-query budget, so the speedup row
         # credits batching, not the deadline — and a separate engine
         # without the result cache, so it cannot replay the batched run's
         # answers (the shared ConnectionIndex is reused as-is).
-        baseline = S3kSearch(
-            instance,
-            connection_index=engine.connection_index,
-            use_connection_index=not args.no_connection_index,
-            result_cache_size=0,
+        baseline = Engine(
+            engine.instance,
+            connection_index=engine.kernel.connection_index,
+            config=EngineConfig(
+                default_k=args.k,
+                use_connection_index=not args.no_connection_index,
+                result_cache_size=0,
+            ),
         )
-        runner = s3k_runner(baseline, time_budget=args.deadline)
+        runner = engine_runner(baseline, time_budget=args.deadline)
         started = time.perf_counter()
         run_workload(runner, workload)
         sequential_seconds = time.perf_counter() - started
@@ -255,22 +276,56 @@ def _batch(args: argparse.Namespace) -> int:
         if sequential_qps:
             rows.append(["speedup", f"{stats.throughput / sequential_qps:.2f}x"])
     print(format_table(["measure", "value"], rows, title=f"batched {workload.name}"))
-    if stats.cache_stats:
-        print(format_counter_table({"result cache": stats.cache_stats}))
+    # One stats surface: index / cache / batch counters all come from the
+    # facade instead of poking at S3kSearch internals.
+    print(format_engine_stats(stats.engine_stats or engine.stats()))
     return 0
+
+
+def _serve(args: argparse.Namespace) -> int:
+    from .engine.serve import run_serve
+
+    config = EngineConfig(
+        default_k=args.k,
+        max_batch_size=args.max_batch_size,
+        batch_deadline=args.batch_deadline,
+    )
+    engine = _engine_from_args(args, config=config)
+
+    def write(text: str) -> None:
+        # Flush per answer: a live client must see responses immediately,
+        # not when the stdout buffer happens to fill.
+        sys.stdout.write(text)
+        sys.stdout.flush()
+
+    # Lines are pulled lazily (stdin stays a live stream: answers go out
+    # while the server waits for the next request).
+    if args.input is not None:
+        with open(args.input, "r", encoding="utf-8") as handle:
+            counters = run_serve(engine, handle, write, default_k=args.k)
+    else:
+        counters = run_serve(engine, sys.stdin, write, default_k=args.k)
+    print(
+        f"served {counters['answered']}/{counters['requests']} requests "
+        f"({counters['errors']} errors)",
+        file=sys.stderr,
+    )
+    if args.stats:
+        print(format_engine_stats(engine.stats()), file=sys.stderr)
+    return 0 if counters["errors"] == 0 else 1
 
 
 def _compare(args: argparse.Namespace) -> int:
     with SQLiteStore(args.db) as store:
         instance = store.load_instance()
-    engine = S3kSearch(instance)
+    engine = Engine(instance)
     builder = WorkloadBuilder(instance, seed=args.seed)
     per_workload = max(1, args.queries // 2)
     workloads = [
         builder.build("+", 1, 5, per_workload),
         builder.build("-", 1, 5, per_workload),
     ]
-    report = compare_engines(engine, workloads, alpha=args.alpha)
+    report = compare_engines(engine.kernel, workloads, alpha=args.alpha)
     print(
         format_table(
             ["measure", "value"],
@@ -289,9 +344,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "index": _index,
         "search": _search,
         "batch": _batch,
+        "serve": _serve,
         "compare": _compare,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except StaleIndexError as exc:
+        # A documented operator-facing condition, not a crash: print the
+        # remedy (re-index or --rebuild-stale-index), no traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

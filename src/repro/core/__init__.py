@@ -2,7 +2,7 @@
 
 from .components import Component, ComponentIndex
 from .concrete_score import S3kScore
-from .connection_index import ConnectionIndex
+from .connection_index import ConnectionIndex, StaleIndexError
 from .connections import ComponentConnections, Connection, resolve_connections
 from .extension import extend_query, keyword_extension
 from .instance import S3Instance
@@ -37,6 +37,7 @@ __all__ = [
     "ComponentConnections",
     "Connection",
     "ConnectionIndex",
+    "StaleIndexError",
     "resolve_connections",
     "ProximityIndex",
     "PathExplorer",

@@ -65,6 +65,20 @@ _TYPES: Tuple[URI, ...] = (S3_CONTAINS, S3_RELATED_TO, S3_COMMENTS_ON)
 _CONTAINS, _RELATED_TO, _COMMENTS_ON = 0, 1, 2
 
 
+class StaleIndexError(RuntimeError):
+    """A persisted index slab no longer matches the instance it is being
+    adopted into.
+
+    Raised on strict adoption (``Engine.from_store(...,
+    stale_slabs="error")`` / ``SQLiteStore.load_connection_index(...,
+    strict=True)``): the instance content changed after ``python -m
+    repro index`` persisted the slabs, so the warm start the operator
+    expects is gone.  Re-run ``python -m repro index`` against the
+    current instance, or opt into lazy rebuilding with
+    ``stale_slabs="rebuild"``.
+    """
+
+
 def _encode_term(term: Term) -> List[str]:
     return ["u" if isinstance(term, URI) else "l", str(term)]
 
@@ -315,21 +329,44 @@ class ConnectionIndex:
             header, blob = self._slabs[ident].to_payload()
             yield ident, header, blob
 
-    def adopt_payload(self, header: str, blob: bytes) -> bool:
+    def adopt_payload(self, header: str, blob: bytes, strict: bool = False) -> bool:
         """Load one persisted slab, verifying it matches this instance.
 
-        A slab whose component shape (node set / atom set) no longer
-        matches is silently skipped and will rebuild lazily.
+        A slab whose component shape (node set / atom set) or content
+        fingerprint no longer matches is skipped (it will rebuild
+        lazily) — or, with *strict*, rejected with a
+        :class:`StaleIndexError` naming the mismatch, so a cold start
+        that was supposed to be warm cannot pass silently.
         """
         slab = _ComponentSlab.from_payload(header, blob)
+        mismatch: Optional[str] = None
+        component: Optional[Component] = None
         if slab.ident >= len(self.component_index):
-            return False
-        component = self.component_index.component(slab.ident)
-        if slab.node_uris != sorted(component.nodes):
-            return False
-        if slab.atoms != sorted(component.keywords):
-            return False
-        if slab.fingerprint != _component_fingerprint(self._instance, component):
+            mismatch = (
+                f"component {slab.ident} does not exist in the current "
+                f"partition ({len(self.component_index)} components)"
+            )
+        else:
+            component = self.component_index.component(slab.ident)
+            if slab.node_uris != sorted(component.nodes):
+                mismatch = f"component {slab.ident}: node set changed"
+            elif slab.atoms != sorted(component.keywords):
+                mismatch = f"component {slab.ident}: keyword atom set changed"
+            elif slab.fingerprint != _component_fingerprint(
+                self._instance, component
+            ):
+                mismatch = (
+                    f"component {slab.ident}: content fingerprint mismatch "
+                    f"(instance version {self._instance.version})"
+                )
+        if mismatch is not None:
+            if strict:
+                raise StaleIndexError(
+                    f"persisted ConnectionIndex slab is stale — {mismatch}. "
+                    "The instance changed after the index was persisted; "
+                    "re-run `python -m repro index`, or load with "
+                    "stale_slabs='rebuild' to rebuild lazily."
+                )
             return False
         slab.version = self._instance.version
         self._slabs[slab.ident] = slab

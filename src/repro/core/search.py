@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 import time
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
@@ -322,29 +323,20 @@ def _normalize_keywords(keywords: Sequence[object]) -> Tuple[Term, ...]:
 
 
 def _coerce_query(query: object, default_k: int) -> Tuple[object, Sequence[object], int]:
-    """Normalize a batch element to ``(seeker, keywords, k)``.
+    """Deprecated shim: use :meth:`repro.engine.QueryRequest.from_obj`.
 
-    Accepts ``(seeker, keywords)`` / ``(seeker, keywords, k)`` tuples and
-    QuerySpec-like objects with ``seeker`` / ``keywords`` / optional ``k``
-    attributes.
+    The ad-hoc ``(seeker, keywords, k)`` coercion moved into the typed
+    request layer; this name survives only for external callers.
     """
-    if hasattr(query, "seeker") and hasattr(query, "keywords"):
-        return (
-            getattr(query, "seeker"),
-            getattr(query, "keywords"),
-            int(getattr(query, "k", default_k) or default_k),
-        )
-    if isinstance(query, (tuple, list)):
-        if len(query) == 2:
-            seeker, keywords = query
-            return seeker, keywords, default_k
-        if len(query) == 3:
-            seeker, keywords, query_k = query
-            return seeker, keywords, int(query_k)
-    raise TypeError(
-        "batch queries must be (seeker, keywords[, k]) tuples or objects "
-        f"with seeker/keywords attributes, got {query!r}"
+    warnings.warn(
+        "_coerce_query is deprecated; use repro.engine.QueryRequest.from_obj",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    from ..engine.request import QueryRequest
+
+    request = QueryRequest.from_obj(query, default_k=default_k)
+    return request.seeker, request.keywords, request.k
 
 
 class S3kSearch:
@@ -1177,30 +1169,50 @@ class S3kSearch:
         fires.  Query-independent work — keyword extension, component
         matching, weight bounds and per-component connection fixpoints —
         is computed once per distinct keyword set and shared across the
-        batch, and identical in-flight queries (same seeker, keywords and
-        k — hot queries under heavy traffic) are coalesced into a single
-        exploration.  Results are returned in input order and are
-        bit-identical to running :meth:`search` on each query separately.
+        batch, and identical in-flight queries (same seeker, keywords,
+        k and settings — hot queries under heavy traffic) are coalesced
+        into a single exploration.  A query that is a
+        :class:`~repro.engine.request.QueryRequest` (or a mapping with
+        the corresponding keys) executes under its *own* ``semantic`` /
+        ``max_iterations`` / ``time_budget``; the batch-level kwargs are
+        defaults for queries that do not carry them.  Results are
+        returned in input order and are bit-identical to running
+        :meth:`search` on each query separately.
         """
+        # Local import: the engine package sits above core and imports
+        # this module at load time; by the time queries arrive both are
+        # fully initialized.
+        from ..engine.request import QueryRequest
+
         batch_started = time.perf_counter()
         self._fresh_caches()
         cache = self._plan_cache if self._plan_cache is not None else _BatchCache()
-        cacheable = (
-            self._result_cache is not None
-            and max_iterations is None
-            and time_budget is None
-        )
         replayed: Dict[Tuple, SearchResult] = {}
         unique_states: Dict[Tuple, QueryState] = {}
         assignment: List[Tuple] = []
         for batch_index, query in enumerate(queries):
-            seeker, keywords, query_k = _coerce_query(query, k)
-            key = (URI(seeker), _normalize_keywords(keywords), query_k)
+            request = QueryRequest.from_obj(
+                query,
+                default_k=k,
+                semantic=semantic,
+                max_iterations=max_iterations,
+                time_budget=time_budget,
+            )
+            key = (request.seeker, request.keywords, request.k, request.settings)
             assignment.append(key)
             if key in unique_states or key in replayed:
                 continue
+            # Budgeted requests bypass the result cache (their answers
+            # depend on the budget), exactly as in :meth:`search`.
+            cacheable = (
+                self._result_cache is not None
+                and request.max_iterations is None
+                and request.time_budget is None
+            )
             if cacheable:
-                cached = self._result_cache.get(key[:2] + (semantic, query_k))
+                cached = self._result_cache.get(
+                    (request.seeker, request.keywords, request.semantic, request.k)
+                )
                 if cached is not None:
                     replayed[key] = replace(
                         cached,
@@ -1209,12 +1221,12 @@ class S3kSearch:
                     )
                     continue
             unique_states[key] = self._prepare_query(
-                seeker,
-                keywords,
-                k=query_k,
-                semantic=semantic,
-                max_iterations=max_iterations,
-                time_budget=time_budget,
+                request.seeker,
+                request.keywords,
+                k=request.k,
+                semantic=request.semantic,
+                max_iterations=request.max_iterations,
+                time_budget=request.time_budget,
                 batch_index=batch_index,
                 cache=cache,
             )
@@ -1256,9 +1268,14 @@ class S3kSearch:
                 borders = np.ascontiguousarray(stepped[:, keep]) if active else None
 
         finished = {key: self._finish(state) for key, state in unique_states.items()}
-        if cacheable:
+        if self._result_cache is not None:
             for key, result in finished.items():
-                self._result_cache.put(key[:2] + (semantic, key[2]), result)
+                seeker_key, keywords_key, k_key, settings = key
+                semantic_key, max_iterations_key, time_budget_key = settings
+                if max_iterations_key is None and time_budget_key is None:
+                    self._result_cache.put(
+                        (seeker_key, keywords_key, semantic_key, k_key), result
+                    )
         finished.update(replayed)
         results: List[SearchResult] = []
         for batch_index, key in enumerate(assignment):

@@ -1,0 +1,34 @@
+"""The serving layer: Engine facade, typed requests, async micro-batching.
+
+Layering (see README *Architecture*)::
+
+    QueryRequest ──> Engine ──> Batcher ──> S3kSearch (kernel)
+                      │            │
+                      │            └─ deadline / size flushes,
+                      │               in-flight request collapsing
+                      └─ instance + ConnectionIndex lifecycle,
+                         result / plan caches, version invalidation,
+                         stats()
+
+:class:`Engine` is the single supported entry point; direct
+:class:`~repro.core.search.S3kSearch` construction keeps working as the
+internal compute kernel for tests and benchmarks.
+"""
+
+from .batcher import Batcher, Served
+from .facade import Engine, EngineConfig
+from .request import QueryRequest, QueryResponse
+from .serve import run_serve, serve_lines
+from ..core.connection_index import StaleIndexError
+
+__all__ = [
+    "Engine",
+    "EngineConfig",
+    "Batcher",
+    "Served",
+    "QueryRequest",
+    "QueryResponse",
+    "StaleIndexError",
+    "serve_lines",
+    "run_serve",
+]

@@ -1,0 +1,235 @@
+"""Deadline-driven micro-batching for the async serving path.
+
+Concurrent ``await engine.asearch(request)`` calls land here: requests
+accumulate in a *window* and are dispatched to the kernel's lock-step
+``search_many`` as one micro-batch when either
+
+* the window reaches ``max_batch_size`` (**size flush** — the batch is
+  full, no reason to wait), or
+* ``max_delay`` seconds have passed since the window opened (**deadline
+  flush** — the latency budget for the oldest waiting request is spent).
+
+Identical requests are *collapsed*: a request equal to one already
+waiting in the window, or equal to one already dispatched and still
+computing, simply awaits that computation instead of occupying a batch
+slot of its own.  Under hot / trending traffic this is what turns N
+duplicate queries into one exploration (the measured ``collapse_rate``
+is submitted / computed requests, > 1 whenever any collapsing happened).
+
+Compute runs in an executor so the event loop stays responsive while the
+kernel explores; the owning :class:`~repro.engine.facade.Engine` passes a
+single-worker executor, which serializes kernel access (the kernel's
+caches are not thread-safe) without limiting how many requests overlap
+in the serving layer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.search import SearchResult
+from .request import QueryRequest
+
+#: Default micro-batch latency budget, seconds: small enough to be
+#: invisible next to one exploration, large enough to let concurrent
+#: submissions pile into one mat-mat step.
+DEFAULT_MAX_DELAY = 0.005
+DEFAULT_MAX_BATCH_SIZE = 32
+
+
+@dataclass
+class Served:
+    """What a waiter receives when its micro-batch completes."""
+
+    result: SearchResult
+    batch_size: int
+    flush_reason: str
+    collapsed: bool = False
+
+
+class Batcher:
+    """Accumulate concurrent requests into deadline-bounded micro-batches.
+
+    *compute* answers one list of unique :class:`QueryRequest` objects
+    (blocking, called in *executor*); *max_batch_size* and *max_delay*
+    bound the window.  All coordination runs on the event loop the
+    requests are submitted from — a batcher must not be shared across
+    loops (the :class:`~repro.engine.facade.Engine` creates one per
+    loop).
+    """
+
+    def __init__(
+        self,
+        compute: Callable[[List[QueryRequest]], Sequence[SearchResult]],
+        *,
+        max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+        max_delay: float = DEFAULT_MAX_DELAY,
+        executor: Optional[Executor] = None,
+        collapse: bool = True,
+    ):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        self._compute = compute
+        self.max_batch_size = max_batch_size
+        self.max_delay = max_delay
+        self._executor = executor
+        self._collapse = collapse
+        #: the open window, in submission order.  A list of slots, not a
+        #: dict: with collapsing disabled two equal requests must occupy
+        #: two slots (a dict keyed by request would overwrite the first
+        #: waiter's future and strand it forever).
+        self._window: List[Tuple[QueryRequest, asyncio.Future]] = []
+        #: collapse lookup over the open window (consulted only when
+        #: collapsing is enabled)
+        self._window_futures: Dict[QueryRequest, asyncio.Future] = {}
+        self._timer: Optional[asyncio.TimerHandle] = None
+        #: dispatched-but-unfinished computations, for in-flight collapsing
+        self._inflight: Dict[QueryRequest, asyncio.Future] = {}
+        self._tasks: Set[asyncio.Task] = set()
+        # -- counters (all monotone; surfaced via Engine.stats()) --------
+        self.submitted = 0
+        self.computed = 0
+        self.collapsed = 0
+        self.batches = 0
+        self.size_flushes = 0
+        self.deadline_flushes = 0
+        self.largest_batch = 0
+
+    # ------------------------------------------------------------------
+    async def submit(self, request: QueryRequest) -> Served:
+        """Answer *request*, riding or opening a micro-batch."""
+        loop = asyncio.get_running_loop()
+        self.submitted += 1
+        if self._collapse:
+            future = self._window_futures.get(request) or self._inflight.get(
+                request
+            )
+            if future is not None:
+                self.collapsed += 1
+                served = await asyncio.shield(future)
+                return Served(
+                    result=served.result,
+                    batch_size=served.batch_size,
+                    flush_reason=served.flush_reason,
+                    collapsed=True,
+                )
+        future = loop.create_future()
+        self._window.append((request, future))
+        self._window_futures[request] = future
+        if len(self._window) == 1 and self.max_delay > 0:
+            self._timer = loop.call_later(
+                self.max_delay, self._flush, "deadline"
+            )
+        if len(self._window) >= self.max_batch_size:
+            self._flush("size")
+        elif self.max_delay == 0:
+            # A zero latency budget is an immediately-expiring deadline,
+            # not a full window.
+            self._flush("deadline")
+        return await asyncio.shield(future)
+
+    # ------------------------------------------------------------------
+    def _flush(self, reason: str) -> None:
+        """Dispatch the open window as one micro-batch (loop thread only)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._window:
+            return
+        window, self._window = self._window, []
+        self._window_futures = {}
+        requests = [request for request, _ in window]
+        futures = [future for _, future in window]
+        self.batches += 1
+        self.computed += len(requests)
+        self.largest_batch = max(self.largest_batch, len(requests))
+        if reason == "size":
+            self.size_flushes += 1
+        elif reason == "deadline":
+            self.deadline_flushes += 1
+        for request, future in window:
+            self._inflight[request] = future
+        task = asyncio.get_running_loop().create_task(
+            self._run_batch(requests, futures, reason)
+        )
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run_batch(
+        self,
+        requests: List[QueryRequest],
+        futures: List[asyncio.Future],
+        reason: str,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            results = await loop.run_in_executor(
+                self._executor, self._compute, requests
+            )
+        except Exception as batch_exc:
+            # One bad request (unknown seeker, malformed budget) must not
+            # poison its co-batched neighbors: fall back to answering each
+            # request on its own, so only the offender sees the error.
+            if len(requests) == 1:
+                # Already a solo computation: re-running it would fail
+                # identically at double the cost.
+                self._inflight.pop(requests[0], None)
+                if not futures[0].done():
+                    futures[0].set_exception(batch_exc)
+                return
+            for request, future in zip(requests, futures):
+                try:
+                    (result,) = await loop.run_in_executor(
+                        self._executor, self._compute, [request]
+                    )
+                except Exception as exc:
+                    self._inflight.pop(request, None)
+                    if not future.done():
+                        future.set_exception(exc)
+                    continue
+                self._inflight.pop(request, None)
+                if not future.done():
+                    future.set_result(
+                        Served(result=result, batch_size=1, flush_reason=reason)
+                    )
+            return
+        for request, future, result in zip(requests, futures, results):
+            self._inflight.pop(request, None)
+            if not future.done():
+                future.set_result(
+                    Served(
+                        result=result,
+                        batch_size=len(requests),
+                        flush_reason=reason,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    async def aclose(self) -> None:
+        """Flush any open window and wait for in-flight batches."""
+        self._flush("close")
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    def stats(self) -> Dict[str, float]:
+        """Monotone serving counters (merged into ``Engine.stats()``)."""
+        return {
+            "submitted": self.submitted,
+            "computed": self.computed,
+            "collapsed": self.collapsed,
+            "batches": self.batches,
+            "size_flushes": self.size_flushes,
+            "deadline_flushes": self.deadline_flushes,
+            "largest_batch": self.largest_batch,
+            "mean_batch_size": (
+                round(self.computed / self.batches, 3) if self.batches else 0.0
+            ),
+            "collapse_rate": (
+                round(self.submitted / self.computed, 3) if self.computed else 0.0
+            ),
+        }

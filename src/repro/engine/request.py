@@ -1,0 +1,213 @@
+"""Typed serving requests and responses (the Engine wire format).
+
+:class:`QueryRequest` is the single normalization point for everything
+callers used to hand the kernel as ad-hoc ``(seeker, keywords[, k])``
+tuples, ``QuerySpec`` objects or keyword arguments: construction
+canonicalizes the seeker to a :class:`~repro.rdf.terms.URI` and the
+keywords to the deduplicated term tuple the kernel coalesces on, so a
+request *is* its own identity key — two requests for the same answer
+compare (and hash) equal, which is what the batcher's in-flight
+collapsing and the result cache key off.
+
+:class:`QueryResponse` pairs the kernel's
+:class:`~repro.core.search.SearchResult` with serving metadata (the
+micro-batch the request rode in, whether it collapsed onto another
+in-flight computation, the observed submission-to-answer latency) and
+serializes to the JSONL shape of the ``serve`` subcommand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..core.search import SearchResult, _normalize_keywords
+from ..rdf.terms import Term, URI
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One normalized S3k query: who asks, for what, and under which budget.
+
+    ``semantic`` toggles keyword extension; ``max_iterations`` /
+    ``time_budget`` activate the anytime termination (a request carrying
+    either bypasses the result cache, exactly as the kernel does).
+    """
+
+    seeker: URI
+    keywords: Tuple[Term, ...]
+    k: int = 5
+    semantic: bool = True
+    max_iterations: Optional[int] = None
+    time_budget: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.keywords, (str, bytes)):
+            # A bare string would be iterated character by character — an
+            # easy JSON mistake ("keywords": "w0") that must not produce a
+            # well-formed answer for the wrong query.
+            raise TypeError(
+                f"keywords must be a sequence of keywords, not a single "
+                f"string: {self.keywords!r}"
+            )
+        object.__setattr__(self, "seeker", URI(self.seeker))
+        object.__setattr__(self, "keywords", _normalize_keywords(self.keywords))
+        object.__setattr__(self, "k", int(self.k))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_obj(
+        cls,
+        obj: object,
+        default_k: int = 5,
+        semantic: bool = True,
+        max_iterations: Optional[int] = None,
+        time_budget: Optional[float] = None,
+    ) -> "QueryRequest":
+        """Normalize any accepted query shape into a request.
+
+        Accepts, in order of precedence:
+
+        * a :class:`QueryRequest` — returned unchanged (it already carries
+          its own settings);
+        * a mapping with ``seeker`` / ``keywords`` keys and optional
+          ``k`` / ``semantic`` / ``max_iterations`` / ``time_budget``
+          (the JSONL ``serve`` shape);
+        * any object with ``seeker`` / ``keywords`` attributes and an
+          optional ``k`` (e.g. :class:`repro.queries.workload.QuerySpec`);
+        * a ``(seeker, keywords)`` or ``(seeker, keywords, k)`` tuple.
+
+        A missing / zero / ``None`` ``k`` falls back to *default_k*; the
+        remaining defaults fill whatever the object does not specify.
+        """
+        if isinstance(obj, cls):
+            return obj
+        if isinstance(obj, Mapping):
+            unknown = set(obj) - _REQUEST_KEYS - {"id"}
+            if unknown:
+                raise TypeError(
+                    f"unknown query fields {sorted(unknown)!r}; "
+                    f"expected a subset of {sorted(_REQUEST_KEYS)}"
+                )
+            if "seeker" not in obj or "keywords" not in obj:
+                raise TypeError(
+                    "a query mapping needs at least 'seeker' and 'keywords', "
+                    f"got {sorted(obj)!r}"
+                )
+            return cls(
+                seeker=obj["seeker"],
+                keywords=obj["keywords"],
+                k=int(obj.get("k") or default_k),
+                semantic=bool(obj.get("semantic", semantic)),
+                max_iterations=obj.get("max_iterations", max_iterations),
+                time_budget=obj.get("time_budget", time_budget),
+            )
+        if hasattr(obj, "seeker") and hasattr(obj, "keywords"):
+            return cls(
+                seeker=getattr(obj, "seeker"),
+                keywords=getattr(obj, "keywords"),
+                k=int(getattr(obj, "k", default_k) or default_k),
+                semantic=bool(getattr(obj, "semantic", semantic)),
+                max_iterations=getattr(obj, "max_iterations", max_iterations),
+                time_budget=getattr(obj, "time_budget", time_budget),
+            )
+        if isinstance(obj, (tuple, list)):
+            if len(obj) == 2:
+                seeker, keywords = obj
+                return cls(
+                    seeker=seeker,
+                    keywords=keywords,
+                    k=default_k,
+                    semantic=semantic,
+                    max_iterations=max_iterations,
+                    time_budget=time_budget,
+                )
+            if len(obj) == 3:
+                seeker, keywords, query_k = obj
+                return cls(
+                    seeker=seeker,
+                    keywords=keywords,
+                    k=int(query_k),
+                    semantic=semantic,
+                    max_iterations=max_iterations,
+                    time_budget=time_budget,
+                )
+        raise TypeError(
+            "queries must be QueryRequest objects, mappings, "
+            "(seeker, keywords[, k]) tuples or objects with seeker/keywords "
+            f"attributes, got {obj!r}"
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def settings(self) -> Tuple:
+        """Execution settings shared by one kernel ``search_many`` call."""
+        return (self.semantic, self.max_iterations, self.time_budget)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable echo of the request."""
+        payload: Dict[str, object] = {
+            "seeker": str(self.seeker),
+            "keywords": [str(keyword) for keyword in self.keywords],
+            "k": self.k,
+            "semantic": self.semantic,
+        }
+        if self.max_iterations is not None:
+            payload["max_iterations"] = self.max_iterations
+        if self.time_budget is not None:
+            payload["time_budget"] = self.time_budget
+        return payload
+
+
+_REQUEST_KEYS = {f.name for f in fields(QueryRequest)}
+
+
+@dataclass
+class QueryResponse:
+    """One served answer: the kernel result plus serving metadata."""
+
+    request: QueryRequest
+    result: SearchResult
+    #: size of the micro-batch this request was computed in (1 for
+    #: sequential `Engine.search`)
+    batch_size: int = 1
+    #: True when the request joined another identical in-flight request's
+    #: computation instead of occupying its own batch slot
+    collapsed: bool = False
+    #: what dispatched the micro-batch: "size", "deadline", "close", or
+    #: "sync" for the non-async entry points
+    flush_reason: str = "sync"
+    #: submission-to-answer latency observed by the serving layer, seconds
+    latency_seconds: float = 0.0
+
+    # -- result passthroughs (keep BatchStats / reporting code working) --
+    @property
+    def results(self) -> List:
+        """Ranked results, in rank order."""
+        return self.result.results
+
+    @property
+    def uris(self) -> List[URI]:
+        return self.result.uris
+
+    @property
+    def wall_time(self) -> float:
+        return self.result.wall_time
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSONL record the ``serve`` subcommand emits per answer."""
+        payload = self.request.to_dict()
+        payload.update(
+            {
+                "results": [
+                    {"uri": str(r.uri), "lower": r.lower, "upper": r.upper}
+                    for r in self.result.results
+                ],
+                "iterations": self.result.iterations,
+                "terminated_by": self.result.terminated_by,
+                "batch_size": self.batch_size,
+                "collapsed": self.collapsed,
+                "latency_ms": round(self.latency_seconds * 1e3, 3),
+            }
+        )
+        return payload

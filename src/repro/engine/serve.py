@@ -1,0 +1,99 @@
+"""JSONL serving loop: the ``python -m repro serve`` REPL.
+
+Reads one JSON request per line (``{"seeker": ..., "keywords": [...],
+"k": ...}``, the :meth:`~repro.engine.request.QueryRequest.from_obj`
+mapping shape, plus an optional ``"id"`` echoed back), submits every
+request to :meth:`Engine.asearch` *without waiting between lines* — so
+concurrent requests accumulate into micro-batches exactly as live
+traffic would — and writes one JSON response per answer as it
+completes.  Responses carry the request ``id`` (defaulting to the input
+line ordinal), so out-of-order completion is fine for callers.
+
+A malformed line produces an ``{"id": ..., "error": ...}`` record
+instead of killing the stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Callable, Dict, Iterable, Optional
+
+from .facade import Engine
+from .request import QueryRequest
+
+__all__ = ["serve_lines", "run_serve"]
+
+
+async def serve_lines(
+    engine: Engine,
+    lines: Iterable[str],
+    write: Callable[[str], object],
+    *,
+    default_k: Optional[int] = None,
+) -> Dict[str, int]:
+    """Serve an iterable of JSONL request lines; returns serve counters."""
+    # Completed tasks prune themselves: a long-lived stream must not
+    # accumulate one finished Task per request forever.
+    tasks: set = set()
+    counters = {"requests": 0, "answered": 0, "errors": 0}
+
+    async def answer(ordinal: int, line: str) -> None:
+        identifier: object = ordinal
+        try:
+            payload = json.loads(line)
+            if isinstance(payload, dict):
+                identifier = payload.get("id", ordinal)
+            request = QueryRequest.from_obj(
+                payload,
+                default_k=(
+                    default_k if default_k is not None else engine.config.default_k
+                ),
+            )
+            response = await engine.asearch(request)
+        except Exception as exc:  # noqa: BLE001 - serve loops must not die
+            counters["errors"] += 1
+            write(json.dumps({"id": identifier, "error": str(exc)}) + "\n")
+            return
+        counters["answered"] += 1
+        record = response.to_dict()
+        record["id"] = identifier
+        write(json.dumps(record) + "\n")
+
+    # Pull lines through an executor thread: a live client (pipe, REPL)
+    # blocks between lines, and a blocking read on the event loop would
+    # stall every in-flight micro-batch — answers must stream out while
+    # the server waits for the next request.
+    loop = asyncio.get_running_loop()
+    iterator = iter(lines)
+
+    def next_line() -> Optional[str]:
+        return next(iterator, None)
+
+    ordinal = 0
+    while True:
+        line = await loop.run_in_executor(None, next_line)
+        if line is None:
+            break
+        stripped = line.strip()
+        if stripped:
+            counters["requests"] += 1
+            task = asyncio.create_task(answer(ordinal, stripped))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+        ordinal += 1
+    if tasks:
+        await asyncio.gather(*list(tasks))
+    await engine.aclose()
+    return counters
+
+
+def run_serve(
+    engine: Engine,
+    lines: Iterable[str],
+    write: Callable[[str], object],
+    *,
+    default_k: Optional[int] = None,
+) -> Dict[str, int]:
+    """Synchronous wrapper: run :func:`serve_lines` in a fresh loop."""
+    return asyncio.run(serve_lines(engine, lines, write, default_k=default_k))

@@ -10,6 +10,7 @@ from .measures import (
 )
 from .reporting import (
     format_counter_table,
+    format_engine_stats,
     format_latency_table,
     format_paper_comparison,
     format_table,
@@ -27,6 +28,7 @@ __all__ = [
     "format_table",
     "format_paper_comparison",
     "format_counter_table",
+    "format_engine_stats",
     "format_latency_table",
     "latency_percentiles",
 ]

@@ -73,6 +73,30 @@ def format_counter_table(
     return format_table(["series", *names], rows, title=title)
 
 
+def format_engine_stats(
+    stats: Dict[str, Dict[str, object]], title: str = "engine stats"
+) -> str:
+    """Render an ``Engine.stats()`` snapshot as one section/counter table.
+
+    This is the single reporting surface over the merged engine / cache /
+    index / batcher counters — the CLI and benchmarks read the facade's
+    ``stats()`` instead of poking at ``S3kSearch`` internals.  Empty
+    sections are omitted; float counters (build seconds, rates) keep a
+    short fixed precision.
+    """
+    rows: List[List[str]] = []
+    for section, counters in stats.items():
+        if not counters:
+            continue
+        for name, value in counters.items():
+            if isinstance(value, float):
+                rendered = f"{value:.3f}"
+            else:
+                rendered = str(value)
+            rows.append([section, name, rendered])
+    return format_table(["section", "counter", "value"], rows, title=title)
+
+
 def format_table(
     headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
 ) -> str:

@@ -3,6 +3,7 @@
 from .runner import (
     BatchStats,
     TimingSummary,
+    engine_runner,
     run_workload,
     run_workload_batched,
     s3k_runner,
@@ -28,6 +29,7 @@ __all__ = [
     "BatchStats",
     "run_workload",
     "run_workload_batched",
+    "engine_runner",
     "s3k_runner",
     "topks_runner",
 ]

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import statistics
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -86,6 +87,9 @@ class BatchStats:
     #: engine result-cache hit / miss / occupancy counters observed right
     #: after the run (all zero for engines without a result cache)
     cache_stats: Dict[str, int] = field(default_factory=dict)
+    #: full ``Engine.stats()`` snapshot when the executor is an
+    #: :class:`~repro.engine.facade.Engine` facade (empty for bare kernels)
+    engine_stats: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     @property
     def n_queries(self) -> int:
@@ -137,16 +141,75 @@ def run_workload_batched(
                 stats.deadline_misses += 1
         stats.results.extend(results)
     stats.cache_stats = dict(getattr(engine, "cache_stats", {}) or {})
+    if hasattr(engine, "stats") and callable(engine.stats):
+        snapshot = engine.stats()
+        if isinstance(snapshot, dict):
+            stats.engine_stats = snapshot
     return stats
 
 
-def s3k_runner(engine, **search_kwargs) -> Callable[[QuerySpec], object]:
-    """Adapter: a QuerySpec runner over an :class:`S3kSearch` engine."""
+def engine_runner(
+    engine,
+    *,
+    k: Optional[int] = None,
+    semantic: bool = True,
+    max_iterations: Optional[int] = None,
+    time_budget: Optional[float] = None,
+) -> Callable[[object], object]:
+    """Adapter: a per-query runner over an Engine facade or a kernel.
 
-    def run(spec: QuerySpec):
-        return engine.search(spec.seeker, spec.keywords, k=spec.k, **search_kwargs)
+    The single normalization point is
+    :meth:`repro.engine.QueryRequest.from_obj`; the keyword defaults
+    fill whatever a query object does not specify (a
+    :class:`QuerySpec`'s own ``k`` always wins).  Accepts both the
+    :class:`~repro.engine.facade.Engine` facade and a bare
+    :class:`~repro.core.search.S3kSearch` kernel.
+    """
+    from ..engine.facade import Engine
+    from ..engine.request import QueryRequest
+
+    if k is None:
+        # An Engine carries its own configured default; the kernel's
+        # signature default is 5.
+        k = engine.config.default_k if isinstance(engine, Engine) else 5
+
+    def coerce(query: object) -> "QueryRequest":
+        return QueryRequest.from_obj(
+            query,
+            default_k=k,
+            semantic=semantic,
+            max_iterations=max_iterations,
+            time_budget=time_budget,
+        )
+
+    if isinstance(engine, Engine):
+        def run(query: object):
+            return engine.search(coerce(query))
+
+        return run
+
+    def run(query: object):
+        request = coerce(query)
+        return engine.search(
+            request.seeker,
+            request.keywords,
+            k=request.k,
+            semantic=request.semantic,
+            max_iterations=request.max_iterations,
+            time_budget=request.time_budget,
+        )
 
     return run
+
+
+def s3k_runner(engine, **search_kwargs) -> Callable[[QuerySpec], object]:
+    """Deprecated alias of :func:`engine_runner` (kept for old imports)."""
+    warnings.warn(
+        "s3k_runner is deprecated; use engine_runner (QueryRequest-based)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return engine_runner(engine, **search_kwargs)
 
 
 def topks_runner(searcher) -> Callable[[QuerySpec], object]:

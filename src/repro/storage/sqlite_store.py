@@ -276,17 +276,21 @@ class SQLiteStore:
         self._connection.commit()
         return count
 
-    def load_connection_index(self, instance, component_index=None):
+    def load_connection_index(self, instance, component_index=None, strict=False):
         """A :class:`~repro.core.connection_index.ConnectionIndex` over
         *instance* warmed with every stored slab that still matches the
-        instance (stale slabs are skipped and rebuild lazily)."""
+        instance.  Stale slabs are skipped and rebuild lazily — unless
+        *strict*, in which case they raise
+        :class:`~repro.core.connection_index.StaleIndexError` (the
+        ``Engine.from_store`` default: a silently-cold warm start hides
+        an operational problem)."""
         from ..core.connection_index import ConnectionIndex
 
         index = ConnectionIndex(instance, component_index)
         for header, blob in self._connection.execute(
             "SELECT header, arrays FROM connection_index ORDER BY ident"
         ):
-            index.adopt_payload(header, bytes(blob))
+            index.adopt_payload(header, bytes(blob), strict=strict)
         return index
 
     def connection_index_slab_count(self) -> int:

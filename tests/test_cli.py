@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -140,6 +142,109 @@ class TestBatch:
         )
         assert code == 0
         assert "deadline misses" in capsys.readouterr().out
+
+
+class TestServe:
+    def _serve(self, db, tmp_path, lines, extra=()):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text("\n".join(lines) + "\n")
+        return main(
+            ["serve", "--db", str(db), "--input", str(requests), "-k", "3", *extra]
+        )
+
+    def test_serve_answers_jsonl(self, generated_db, tmp_path, capsys):
+        code = self._serve(
+            generated_db,
+            tmp_path,
+            [
+                '{"seeker": "tw:u0", "keywords": ["w0"], "k": 3}',
+                '{"seeker": "tw:u1", "keywords": ["w0"]}',
+                '{"seeker": "tw:u0", "keywords": ["w0"], "k": 3, "id": "dup"}',
+            ],
+            extra=["--stats"],
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        records = {
+            record["id"]: record
+            for record in map(json.loads, captured.out.strip().splitlines())
+        }
+        assert len(records) == 3
+        assert records[0]["results"]  # non-empty answer with uri/lower/upper
+        assert {"uri", "lower", "upper"} <= set(records[0]["results"][0])
+        # The duplicate request returns the identical answer (collapsed or
+        # replayed, depending on micro-batch timing).
+        assert records["dup"]["results"] == records[0]["results"]
+        assert "served 3/3 requests" in captured.err
+        assert "batcher" in captured.err  # --stats engine table
+
+    def test_serve_reports_bad_lines_and_fails(self, generated_db, tmp_path, capsys):
+        code = self._serve(
+            generated_db,
+            tmp_path,
+            ['{"seeker": "tw:u0", "keywords": ["w0"]}', "{broken"],
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        records = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert any("error" in record for record in records)
+        assert any("results" in record for record in records)
+
+    def test_serve_unknown_seeker_is_an_error_record(
+        self, generated_db, tmp_path, capsys
+    ):
+        code = self._serve(
+            generated_db,
+            tmp_path,
+            ['{"seeker": "tw:nobody", "keywords": ["w0"]}'],
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        (record,) = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert "unknown seeker" in record["error"]
+
+
+class TestStaleIndexCli:
+    @pytest.fixture()
+    def stale_db(self, generated_db):
+        code = main(["index", "--db", str(generated_db)])
+        assert code == 0
+        # Re-save a mutated instance over the indexed one: the persisted
+        # slabs are now stale relative to the stored content.
+        from repro import Tag, URI
+        from repro.storage import SQLiteStore
+
+        with SQLiteStore(generated_db) as store:
+            instance = store.load_instance()
+            node = sorted(instance.node_to_document)[0]
+            instance.add_tag(Tag(URI("t:stale"), node, URI("tw:u0"), keyword="w0"))
+            instance.saturate()
+            store.save_instance(instance)
+        return generated_db
+
+    def test_stale_slab_aborts_cleanly(self, stale_db, capsys):
+        code = main(
+            ["search", "--db", str(stale_db), "--seeker", "tw:u0", "--keywords", "w0"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error:" in captured.err and "repro index" in captured.err
+
+    def test_rebuild_stale_index_flag_recovers(self, stale_db, capsys):
+        code = main(
+            [
+                "search",
+                "--db",
+                str(stale_db),
+                "--seeker",
+                "tw:u0",
+                "--keywords",
+                "w0",
+                "--rebuild-stale-index",
+            ]
+        )
+        assert code == 0
+        assert "terminated by" in capsys.readouterr().out
 
 
 class TestCompare:

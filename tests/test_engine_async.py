@@ -1,0 +1,384 @@
+"""The async serving path: deadline-driven micro-batching + collapsing.
+
+Contracts under test (ISSUE 3):
+
+* **size flush** — a window reaching ``max_batch_size`` dispatches
+  immediately (the deadline timer never fires);
+* **deadline flush** — an under-full window dispatches once the latency
+  budget elapses;
+* **collapsing** — identical requests, whether still waiting in the
+  window or already dispatched and computing, join one computation;
+* **bit-identity** — concurrent ``await engine.asearch(...)`` returns
+  exactly what sequential ``S3kSearch.search`` returns, on fixtures and
+  randomized instances;
+* **invalidation** — a mutation through the facade is visible to the
+  next async answer.
+"""
+
+import asyncio
+import random
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import Engine, EngineConfig, QueryRequest, S3kSearch, Tag, URI
+from repro.core.search import SearchResult
+from repro.engine import Batcher
+
+from .fixtures import figure1_instance, two_community_instance
+from .instance_gen import VOCABULARY, random_instance
+
+#: Generous overall timeout: a hung flush (the failure mode these tests
+#: guard) fails fast instead of wedging the suite.
+TIMEOUT = 30.0
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, TIMEOUT))
+
+
+def _result_for(request: QueryRequest) -> SearchResult:
+    """A minimal synthetic kernel answer (unit tests of the Batcher)."""
+    return SearchResult(
+        seeker=request.seeker,
+        keywords=request.keywords,
+        k=request.k,
+        results=[],
+        iterations=0,
+        terminated_by="threshold",
+        elapsed_seconds=0.0,
+        candidates_examined=0,
+        components_processed=0,
+        components_discarded=0,
+    )
+
+
+class TestFlushModes:
+    def test_size_flush_beats_far_deadline(self):
+        engine = Engine(
+            figure1_instance(),
+            config=EngineConfig(max_batch_size=2, batch_deadline=60.0),
+        )
+
+        async def go():
+            responses = await asyncio.gather(
+                engine.asearch(("u1", ["degre"], 3)),
+                engine.asearch(("u0", ["debate"], 2)),
+            )
+            await engine.aclose()
+            return responses
+
+        responses = run(go())
+        stats = engine.stats()["batcher"]
+        assert stats["size_flushes"] == 1
+        assert stats["deadline_flushes"] == 0
+        assert stats["batches"] == 1
+        assert all(r.flush_reason == "size" for r in responses)
+        assert all(r.batch_size == 2 for r in responses)
+
+    def test_deadline_flush_dispatches_underfull_window(self):
+        engine = Engine(
+            figure1_instance(),
+            config=EngineConfig(max_batch_size=100, batch_deadline=0.02),
+        )
+
+        async def go():
+            responses = await asyncio.gather(
+                engine.asearch(("u1", ["degre"], 3)),
+                engine.asearch(("u0", ["debate"], 2)),
+                engine.asearch(("u4", ["university"], 1)),
+            )
+            await engine.aclose()
+            return responses
+
+        responses = run(go())
+        stats = engine.stats()["batcher"]
+        assert stats["deadline_flushes"] >= 1
+        assert stats["size_flushes"] == 0
+        assert {r.flush_reason for r in responses} == {"deadline"}
+
+    def test_batch_deadline_zero_dispatches_each_request(self):
+        engine = Engine(
+            figure1_instance(),
+            config=EngineConfig(max_batch_size=8, batch_deadline=0.0),
+        )
+
+        async def go():
+            responses = await asyncio.gather(
+                engine.asearch(("u1", ["degre"], 3)),
+                engine.asearch(("u0", ["debate"], 2)),
+            )
+            await engine.aclose()
+            return responses
+
+        responses = run(go())
+        assert all(r.batch_size == 1 for r in responses)
+        assert engine.stats()["batcher"]["batches"] == 2
+
+
+class TestCollapsing:
+    def test_window_collapsing_of_identical_requests(self):
+        engine = Engine(
+            figure1_instance(),
+            config=EngineConfig(max_batch_size=100, batch_deadline=0.02),
+        )
+        query = ("u1", ["degre"], 3)
+
+        async def go():
+            responses = await asyncio.gather(
+                *[engine.asearch(query) for _ in range(5)],
+                engine.asearch(("u0", ["debate"], 2)),
+            )
+            await engine.aclose()
+            return responses
+
+        responses = run(go())
+        stats = engine.stats()["batcher"]
+        assert stats["submitted"] == 6
+        assert stats["computed"] == 2  # one per *unique* request
+        assert stats["collapsed"] == 4
+        assert stats["collapse_rate"] == 3.0
+        first = responses[0].result.results
+        assert all(r.result.results == first for r in responses[:5])
+        assert sum(1 for r in responses[:5] if r.collapsed) == 4
+
+    def test_inflight_collapsing_joins_running_computation(self):
+        """A request identical to one already dispatched (still computing)
+        must await that computation, not occupy a new batch slot."""
+        release = threading.Event()
+        calls = []
+
+        def compute(requests):
+            calls.append(list(requests))
+            assert release.wait(TIMEOUT)
+            return [_result_for(r) for r in requests]
+
+        executor = ThreadPoolExecutor(max_workers=1)
+        request = QueryRequest(seeker="u1", keywords=("degre",), k=3)
+
+        async def go():
+            batcher = Batcher(
+                compute, max_batch_size=1, max_delay=0.0, executor=executor
+            )
+            first = asyncio.create_task(batcher.submit(request))
+            await asyncio.sleep(0.05)  # batch dispatched; compute blocked
+            second = asyncio.create_task(batcher.submit(request))
+            await asyncio.sleep(0.05)
+            release.set()
+            served = await asyncio.gather(first, second)
+            await batcher.aclose()
+            return batcher, served
+
+        try:
+            batcher, (first, second) = run(go())
+        finally:
+            release.set()
+            executor.shutdown(wait=True)
+        assert len(calls) == 1  # one computation for both waiters
+        assert not first.collapsed and second.collapsed
+        assert second.result is first.result
+        assert batcher.collapsed == 1 and batcher.computed == 1
+
+    def test_collapse_disabled_duplicates_each_get_answered(self):
+        """With collapsing off, equal concurrent requests must occupy two
+        window slots — both waiters complete (regression: a dict-keyed
+        window overwrote the first waiter's future and stranded it)."""
+        engine = Engine(
+            figure1_instance(),
+            config=EngineConfig(
+                max_batch_size=2, batch_deadline=60.0, collapse=False
+            ),
+        )
+        query = ("u1", ["degre"], 3)
+
+        async def go():
+            responses = await asyncio.gather(
+                engine.asearch(query), engine.asearch(query)
+            )
+            await engine.aclose()
+            return responses
+
+        first, second = run(go())
+        assert first.result.results == second.result.results
+        stats = engine.stats()["batcher"]
+        assert stats["computed"] == 2 and stats["collapsed"] == 0
+
+    def test_bad_request_does_not_poison_its_micro_batch(self):
+        """A failing request (unknown seeker) sharing a window with valid
+        requests must fail alone; its neighbors still get answers."""
+        engine = Engine(
+            figure1_instance(),
+            config=EngineConfig(max_batch_size=100, batch_deadline=0.02),
+        )
+
+        async def go():
+            outcomes = await asyncio.gather(
+                engine.asearch(("u1", ["degre"], 3)),
+                engine.asearch(("nobody", ["degre"], 3)),
+                engine.asearch(("u0", ["debate"], 2)),
+                return_exceptions=True,
+            )
+            await engine.aclose()
+            return outcomes
+
+        good, bad, also_good = run(go())
+        assert isinstance(bad, KeyError) and "nobody" in str(bad)
+        kernel = S3kSearch(engine.instance)
+        assert good.result.results == kernel.search("u1", ["degre"], k=3).results
+        assert (
+            also_good.result.results == kernel.search("u0", ["debate"], k=2).results
+        )
+
+    def test_compute_failure_propagates_to_every_waiter(self):
+        def compute(requests):
+            raise RuntimeError("kernel exploded")
+
+        async def go():
+            batcher = Batcher(compute, max_batch_size=2, max_delay=60.0)
+            request_a = QueryRequest(seeker="u1", keywords=("a",), k=1)
+            request_b = QueryRequest(seeker="u2", keywords=("b",), k=1)
+            results = await asyncio.gather(
+                batcher.submit(request_a),
+                batcher.submit(request_b),
+                return_exceptions=True,
+            )
+            await batcher.aclose()
+            return results
+
+        results = run(go())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+
+class TestBitIdentity:
+    def _assert_concurrent_matches_sequential(self, instance, queries):
+        engine = Engine(
+            instance,
+            config=EngineConfig(
+                max_batch_size=4, batch_deadline=0.005, result_cache_size=0
+            ),
+        )
+        kernel = S3kSearch(instance, result_cache_size=0)
+
+        async def go():
+            responses = await asyncio.gather(
+                *[engine.asearch(query) for query in queries]
+            )
+            await engine.aclose()
+            return responses
+
+        responses = run(go())
+        for query, response in zip(queries, responses):
+            request = QueryRequest.from_obj(query)
+            single = kernel.search(
+                request.seeker,
+                request.keywords,
+                k=request.k,
+                semantic=request.semantic,
+            )
+            assert response.result.results == single.results
+            assert response.result.iterations == single.iterations
+            assert response.result.terminated_by == single.terminated_by
+
+    def test_figure1_concurrent_grid(self):
+        queries = [
+            (seeker, keywords, k)
+            for seeker in ("u0", "u1", "u4")
+            for keywords in (["debate"], ["degre"], ["university", "degre"])
+            for k in (1, 3)
+        ]
+        self._assert_concurrent_matches_sequential(figure1_instance(), queries)
+
+    def test_two_communities_concurrent(self):
+        queries = [(f"u{i}", ["python"], 2) for i in range(6)]
+        self._assert_concurrent_matches_sequential(two_community_instance(), queries)
+
+    def test_randomized_instances_concurrent(self):
+        rng = random.Random(7)
+        for _ in range(5):
+            instance = random_instance(rng)
+            seekers = sorted(instance.users)
+            queries = [
+                (
+                    rng.choice(seekers),
+                    rng.sample(VOCABULARY, rng.randint(1, 2)),
+                    rng.choice([1, 3, 5]),
+                )
+                for _ in range(6)
+            ]
+            self._assert_concurrent_matches_sequential(instance, queries)
+
+    def test_mixed_settings_in_one_window(self):
+        instance = figure1_instance()
+        engine = Engine(
+            instance, config=EngineConfig(max_batch_size=100, batch_deadline=0.02)
+        )
+        kernel = S3kSearch(instance)
+        plain = QueryRequest(seeker="u1", keywords=("degre",), k=3, semantic=False)
+        semantic = QueryRequest(seeker="u1", keywords=("degre",), k=3, semantic=True)
+
+        async def go():
+            responses = await asyncio.gather(
+                engine.asearch(plain), engine.asearch(semantic)
+            )
+            await engine.aclose()
+            return responses
+
+        without, with_semantics = run(go())
+        assert (
+            without.result.results
+            == kernel.search("u1", ["degre"], k=3, semantic=False).results
+        )
+        assert (
+            with_semantics.result.results
+            == kernel.search("u1", ["degre"], k=3, semantic=True).results
+        )
+
+
+class TestAsyncLifecycle:
+    def test_mutation_through_facade_visible_to_async_path(self):
+        instance = figure1_instance()
+        engine = Engine(instance)
+        before = run(self._one(engine, ("u1", ["campus"], 5)))
+        engine.add_tag(Tag(URI("t:new"), URI("d0.3.1"), URI("u0"), keyword="campus"))
+        after = run(self._one(engine, ("u1", ["campus"], 5)))
+        fresh = S3kSearch(engine.instance).search("u1", ["campus"], k=5)
+        assert after.result.results == fresh.results
+        assert after.result.results != before.result.results
+        assert engine.stats()["engine"]["kernel_rebuilds"] == 1
+
+    @staticmethod
+    async def _one(engine, query):
+        response = await engine.asearch(query)
+        await engine.aclose()
+        return response
+
+    def test_batcher_survives_event_loop_changes(self):
+        """Each ``asyncio.run`` gets a fresh loop; the engine must retire
+        the old batcher and keep aggregate counters."""
+        engine = Engine(figure1_instance())
+        run(self._one(engine, ("u1", ["degre"], 3)))
+        run(self._one(engine, ("u0", ["debate"], 2)))
+        stats = engine.stats()["batcher"]
+        assert stats["submitted"] == 2
+        assert stats["batches"] == 2
+
+    def test_serve_lines_round_trip(self):
+        import json
+
+        engine = Engine(figure1_instance())
+        lines = [
+            '{"seeker": "u1", "keywords": ["degre"], "k": 3}',
+            "",
+            '{"seeker": "u1", "keywords": ["degre"], "k": 3, "id": "dup"}',
+            "not json",
+        ]
+        written = []
+
+        from repro.engine import serve_lines
+
+        counters = run(serve_lines(engine, lines, written.append))
+        assert counters == {"requests": 3, "answered": 2, "errors": 1}
+        records = {record["id"]: record for record in map(json.loads, written)}
+        assert records[0]["results"] == records["dup"]["results"]
+        assert "error" in records[3]

@@ -13,7 +13,7 @@ from repro.datasets import (
     build_yelp_instance,
 )
 from repro.eval import compare_engines
-from repro.queries import WorkloadBuilder, run_workload, s3k_runner, topks_runner
+from repro.queries import WorkloadBuilder, run_workload, engine_runner, topks_runner
 from repro.rdf import URI
 
 

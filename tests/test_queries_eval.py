@@ -22,7 +22,7 @@ from repro.queries import (
     frequency_buckets,
     run_workload,
     run_workload_batched,
-    s3k_runner,
+    engine_runner,
 )
 from repro.rdf import Literal
 
@@ -78,7 +78,7 @@ class TestWorkloads:
         engine = S3kSearch(twitter.instance)
         builder = WorkloadBuilder(twitter.instance, seed=3)
         workload = builder.build("+", 1, 5, 6)
-        summary = run_workload(s3k_runner(engine), workload)
+        summary = run_workload(engine_runner(engine), workload)
         quartiles = summary.quartiles()
         assert quartiles["min"] <= quartiles["q1"] <= quartiles["median"]
         assert quartiles["median"] <= quartiles["q3"] <= quartiles["max"]
