@@ -1,0 +1,38 @@
+# S3k serving tier: `repro serve --http` behind a bounded admission
+# queue with graceful SIGTERM drain (see README "Serving").
+#
+# The container serves whatever SQLite database is mounted at $DB
+# (default /data/i1.db).  When nothing is mounted it bootstraps a
+# Twitter-shaped demo instance with prebuilt ConnectionIndex slabs on
+# first start, so `docker compose up` answers queries out of the box.
+FROM python:3.11-slim
+
+RUN pip install --no-cache-dir numpy scipy
+
+WORKDIR /app
+COPY src/ src/
+
+ENV PYTHONPATH=/app/src \
+    PYTHONUNBUFFERED=1 \
+    DB=/data/i1.db \
+    HTTP_ADDR=0.0.0.0:8080
+
+VOLUME /data
+EXPOSE 8080
+
+HEALTHCHECK --interval=10s --timeout=3s --start-period=60s \
+  CMD python -c "import os, urllib.request; \
+    port = os.environ['HTTP_ADDR'].rsplit(':', 1)[1]; \
+    urllib.request.urlopen(f'http://127.0.0.1:{port}/healthz', timeout=2)"
+
+# `exec` keeps the server as PID 1: SIGTERM from the runtime stops the
+# listener, flushes in-flight micro-batches, and exits cleanly instead
+# of dropping requests on the floor.  --rebuild-stale-index repairs
+# slabs left stale by offline writes to the mounted database.
+CMD ["sh", "-c", "\
+  if [ ! -f \"$DB\" ]; then \
+    echo \"bootstrapping demo instance at $DB\" >&2 && \
+    python -m repro generate --dataset twitter --out \"$DB\" --scale 1.0 && \
+    python -m repro index --db \"$DB\"; \
+  fi && \
+  exec python -m repro serve --db \"$DB\" --http \"$HTTP_ADDR\" --rebuild-stale-index"]

@@ -1,0 +1,87 @@
+"""CI hard gate for the HTTP serving bench artifact.
+
+Usage::
+
+    python benchmarks/check_http_budget.py FRESH.json [capacity_factor]
+
+Reads the ``BENCH_serving_http.json`` a fresh bench run just emitted and
+fails when the serving tier violated its structural contract:
+
+* the knee's p99 must be inside the latency budget the server enforces
+  (the bench found no load level it could serve cleanly otherwise);
+* past saturation, overload must be shed by admission control — 429s
+  present, zero 504s, zero dropped connections.  A server that times
+  requests out instead of rejecting them has broken backpressure;
+* the HTTP tier's capacity must stay within *capacity_factor* (default
+  2x, matching the other perf gates) of the engine-only qps measured in
+  the same run.  A ratio of two same-run numbers, so a slow shared
+  runner cannot trip it — only a real regression of the HTTP path can.
+
+The tighter perf targets (HTTP within 10% of engine-only) live in the
+bench's own asserts, which CI runs ``continue-on-error`` because they
+are timing-sensitive on shared runners.  This gate is the merge-blocking
+subset that must hold on any machine.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv) -> int:
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    fresh = json.loads(Path(argv[1]).read_text())
+    capacity_factor = float(argv[2]) if len(argv) > 2 else 2.0
+
+    budget_ms = float(fresh["latency_budget_ms"])
+    knee = fresh["knee"]
+    print(
+        f"knee: {knee['target_qps']:.0f} q/s target at "
+        f"{knee['load_fraction']}x capacity, p99 {knee['latency_p99_ms']:.1f} ms "
+        f"(budget {budget_ms:.0f} ms)"
+    )
+    if knee["latency_p99_ms"] > budget_ms:
+        print("FAIL: p99 at the knee exceeds the request deadline budget")
+        return 1
+
+    saturated = fresh["levels"][-1]
+    print(
+        f"saturation ({saturated['load_fraction']}x capacity): "
+        f"{saturated['rejected_429']} rejected, "
+        f"{saturated['deadline_504']} deadline-expired, "
+        f"{saturated['client_errors']} connection errors"
+    )
+    if saturated["rejected_429"] <= 0:
+        print("FAIL: past saturation the server never shed load with 429s")
+        return 1
+    if saturated["deadline_504"] > 0 or saturated["client_errors"] > 0:
+        print(
+            "FAIL: overload leaked past admission control "
+            "(timeouts or dropped connections instead of 429s)"
+        )
+        return 1
+
+    capacity = fresh["capacity"]
+    floor = float(capacity["engine_qps"]) / capacity_factor
+    print(
+        f"capacity: HTTP {capacity['qps']:.0f} q/s vs in-run engine-only "
+        f"{capacity['engine_qps']:.0f} q/s, floor {floor:.0f} "
+        f"(= engine / {capacity_factor:g})"
+    )
+    if capacity["qps"] < floor:
+        print(
+            f"FAIL: the HTTP tier costs more than {capacity_factor:g}x "
+            "over the engine-only serving path"
+        )
+        return 1
+
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

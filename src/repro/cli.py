@@ -7,6 +7,7 @@ Usage::
     python -m repro search   --db i1.db --seeker tw:u0 --keywords w0 w3 -k 5
     python -m repro batch    --db i1.db --queries 64 --batch-size 32
     python -m repro serve    --db i1.db < requests.jsonl
+    python -m repro serve    --db i1.db --http 0.0.0.0:8080
     python -m repro compare  --db i1.db --queries 10
 
 ``generate`` builds one of the three paper-shaped instances and persists
@@ -16,7 +17,10 @@ query-time fixpoint work); ``search`` answers a single S3k query;
 ``batch`` runs a generated workload through the batched executor and
 reports throughput, latency percentiles and the engine's merged stats;
 ``serve`` answers JSONL requests from stdin (or a file) through the
-async micro-batching path, one JSON answer per line; ``compare`` runs
+async micro-batching path, one JSON answer per line — or, with
+``--http HOST:PORT``, runs the HTTP serving tier (``POST /search``,
+``GET /stats``, ``GET /healthz``) with bounded admission, per-request
+deadlines and graceful SIGTERM drain; ``compare`` runs
 the Figure 8 qualitative comparison between S3k and the TopkS baseline.
 
 Every query-answering subcommand goes through the
@@ -122,13 +126,28 @@ def _build_parser() -> argparse.ArgumentParser:
 
     serve = commands.add_parser(
         "serve",
-        help="answer JSONL queries from stdin through the async "
-        "micro-batching engine",
+        help="answer JSONL queries from stdin, or HTTP queries with "
+        "--http, through the async micro-batching engine",
     )
     serve.add_argument("--db", required=True, help="SQLite file from `generate`")
     serve.add_argument(
         "--input", default=None,
         help="JSONL request file (default: read stdin until EOF)",
+    )
+    serve.add_argument(
+        "--http", default=None, metavar="HOST:PORT",
+        help="serve HTTP instead of JSONL (POST /search, GET /stats, "
+        "GET /healthz; port 0 binds an ephemeral port)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="bounded admission: queries in flight before new ones are "
+        "rejected with 429 (HTTP mode)",
+    )
+    serve.add_argument(
+        "--request-deadline", type=float, default=None, metavar="SECONDS",
+        help="default per-request deadline applied when a request "
+        "carries none (HTTP mode; expiry answers 504)",
     )
     serve.add_argument("-k", type=int, default=5, help="default k per request")
     serve.add_argument(
@@ -282,8 +301,67 @@ def _batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_hostport(value: str) -> tuple:
+    """``HOST:PORT`` for ``serve --http`` (host required: binding all
+    interfaces must be an explicit ``0.0.0.0:...``, never a default)."""
+    host, separator, port = value.rpartition(":")
+    if not separator or not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"--http expects HOST:PORT (e.g. 127.0.0.1:8080), got {value!r}"
+        )
+    return host, int(port)
+
+
+def _serve_http(args: argparse.Namespace) -> int:
+    from .engine.http import HttpConfig, HttpServer, run_http_server
+
+    host, port = _parse_hostport(args.http)
+    engine_config = EngineConfig(
+        default_k=args.k,
+        max_batch_size=args.max_batch_size,
+        batch_deadline=args.batch_deadline,
+    )
+    stale = "rebuild" if args.rebuild_stale_index else "error"
+    # Stale slabs degrade instead of aborting: the server boots, answers
+    # 503 with the remedy in the body, and the load balancer routes away
+    # — an orchestrator restart loop cannot fix a stale slab anyway.
+    server = HttpServer.from_store(
+        args.db,
+        engine_config=engine_config,
+        config=HttpConfig(
+            host=host,
+            port=port,
+            max_inflight=args.max_inflight,
+            default_deadline=args.request_deadline,
+        ),
+        stale_slabs=stale,
+    )
+
+    def ready(started: HttpServer) -> None:
+        state = "DEGRADED (stale index slabs)" if started.failure else "ready"
+        print(
+            f"serving http://{host}:{started.port} [{state}] — "
+            f"SIGTERM drains gracefully",
+            file=sys.stderr,
+        )
+
+    counters = run_http_server(server, ready=ready)
+    print(
+        f"served {counters['queries_answered']} queries "
+        f"({counters['rejected_429']} rejected, "
+        f"{counters['deadline_504']} deadline-expired)",
+        file=sys.stderr,
+    )
+    if args.stats and server.engine is not None:
+        print(format_engine_stats(server.engine.stats()), file=sys.stderr)
+    return 1 if server.failure is not None else 0
+
+
 def _serve(args: argparse.Namespace) -> int:
     from .engine.serve import run_serve
+
+    if args.http is not None:
+        return _serve_http(args)
 
     config = EngineConfig(
         default_k=args.k,

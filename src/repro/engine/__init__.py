@@ -2,6 +2,8 @@
 
 Layering (see README *Architecture*)::
 
+    HTTP / JSONL front-ends
+             │
     QueryRequest ──> Engine ──> Batcher ──> S3kSearch (kernel)
                       │            │
                       │            └─ deadline / size flushes,
@@ -16,7 +18,9 @@ internal compute kernel for tests and benchmarks.
 """
 
 from .batcher import Batcher, Served
+from .errors import classify_error, error_payload
 from .facade import Engine, EngineConfig
+from .http import FaultInjector, HttpConfig, HttpServer, run_http_server
 from .request import QueryRequest, QueryResponse
 from .serve import run_serve, serve_lines
 from ..core.connection_index import StaleIndexError
@@ -31,4 +35,10 @@ __all__ = [
     "StaleIndexError",
     "serve_lines",
     "run_serve",
+    "HttpServer",
+    "HttpConfig",
+    "FaultInjector",
+    "run_http_server",
+    "classify_error",
+    "error_payload",
 ]

@@ -9,8 +9,10 @@ traffic would — and writes one JSON response per answer as it
 completes.  Responses carry the request ``id`` (defaulting to the input
 line ordinal), so out-of-order completion is fine for callers.
 
-A malformed line produces an ``{"id": ..., "error": ...}`` record
-instead of killing the stream.
+A malformed line produces a structured ``{"id": ..., "error": {"type":
+..., "status": ..., "message": ...}}`` record — shaped by the same
+:mod:`repro.engine.errors` helper the HTTP tier answers with — instead
+of killing the stream.
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ import asyncio
 import json
 from typing import Callable, Dict, Iterable, Optional
 
+from .errors import error_payload
 from .facade import Engine
 from .request import QueryRequest
 
@@ -53,7 +56,7 @@ async def serve_lines(
             response = await engine.asearch(request)
         except Exception as exc:  # noqa: BLE001 - serve loops must not die
             counters["errors"] += 1
-            write(json.dumps({"id": identifier, "error": str(exc)}) + "\n")
+            write(json.dumps(error_payload(exc, request_id=identifier)) + "\n")
             return
         counters["answered"] += 1
         record = response.to_dict()

@@ -1,0 +1,67 @@
+"""In-process harness for the HTTP serving tier tests.
+
+Boots an :class:`~repro.engine.http.HttpServer` on an **ephemeral
+port** (the OS picks it; nothing collides under parallel test runs) and
+tears it down through the real drain path, with the
+:class:`~repro.engine.http.FaultInjector` hooks armed per test:
+
+* ``faults.hold_kernel()`` parks every micro-batch on a
+  ``threading.Event`` — requests sit in a *known* in-flight state until
+  the test releases them, so no scenario needs a sleep to line up;
+* ``server.wait_for_inflight(n)`` is the matching synchronization
+  point on the admission side.
+
+The client half is the raw-socket client from :mod:`repro.engine.http`
+(one-shot :func:`http_call`, keep-alive
+:class:`~repro.engine.http.HttpClientConnection`) — tests talk real
+HTTP/1.1 bytes, not a shortcut into the handler.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import asynccontextmanager
+from typing import Optional
+
+from repro.engine import EngineConfig, FaultInjector, HttpConfig, HttpServer
+
+#: Generous ceiling: a hung drain / flush fails fast instead of wedging
+#: the suite (mirrors tests/test_engine_async.py).
+TIMEOUT = 30.0
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, TIMEOUT))
+
+
+@asynccontextmanager
+async def running_server(
+    engine=None,
+    *,
+    store=None,
+    stale_slabs: str = "error",
+    config: Optional[HttpConfig] = None,
+    engine_config: Optional[EngineConfig] = None,
+    faults: Optional[FaultInjector] = None,
+):
+    """Boot a server (from an engine or a SQLite store) and always tear
+    it down through :meth:`HttpServer.drain` — releasing any armed
+    kernel gate first, so a failing test cannot wedge the executor."""
+    faults = faults if faults is not None else FaultInjector()
+    config = config if config is not None else HttpConfig(port=0)
+    if store is not None:
+        server = HttpServer.from_store(
+            store,
+            engine_config=engine_config,
+            config=config,
+            stale_slabs=stale_slabs,
+            faults=faults,
+        )
+    else:
+        server = HttpServer(engine, config=config, faults=faults)
+    await server.start()
+    try:
+        yield server
+    finally:
+        server.faults.release_kernel()
+        await asyncio.wait_for(server.drain(), TIMEOUT)

@@ -201,7 +201,87 @@ class TestServe:
         captured = capsys.readouterr()
         assert code == 1
         (record,) = [json.loads(line) for line in captured.out.strip().splitlines()]
-        assert "unknown seeker" in record["error"]
+        # The structured error record shared with the HTTP tier.
+        assert "unknown seeker" in record["error"]["message"]
+        assert record["error"]["type"] == "not_found"
+        assert record["error"]["status"] == 404
+
+
+class TestServeHttp:
+    def test_parse_hostport_accepts_host_colon_port(self):
+        from repro.cli import _parse_hostport
+
+        assert _parse_hostport("127.0.0.1:8080") == ("127.0.0.1", 8080)
+        assert _parse_hostport("0.0.0.0:0") == ("0.0.0.0", 0)
+
+    @pytest.mark.parametrize("bad", ["8080", "host:", ":8080", "host:http", ""])
+    def test_parse_hostport_rejects_malformed(self, bad):
+        import argparse
+
+        from repro.cli import _parse_hostport
+
+        with pytest.raises(argparse.ArgumentTypeError, match="HOST:PORT"):
+            _parse_hostport(bad)
+
+    def test_serve_http_end_to_end(self, generated_db, capsys, monkeypatch):
+        """``serve --http`` boots, answers a query, and drains on SIGTERM.
+
+        ``main`` blocks in the server loop on this (main) thread — the
+        only thread where asyncio signal handlers work — so a worker
+        thread plays the client and sends SIGTERM once it has an answer.
+        The server's ready callback hands the worker the ephemeral port
+        through an event: no sleeps, no port races.
+        """
+        import asyncio
+        import os
+        import signal
+        import threading
+
+        import repro.engine.http as http_module
+
+        started = threading.Event()
+        box = {}
+        real_run = http_module.run_http_server
+
+        def capturing_run(server, *, ready=None):
+            def relay(s):
+                if ready is not None:
+                    ready(s)
+                box["port"] = s.port
+                started.set()
+
+            return real_run(server, ready=relay)
+
+        monkeypatch.setattr(http_module, "run_http_server", capturing_run)
+
+        def client():
+            assert started.wait(timeout=30), "server never became ready"
+
+            async def ask():
+                return await http_module.http_call(
+                    box["port"],
+                    "POST",
+                    "/search",
+                    body={"seeker": "tw:u0", "keywords": ["w0"], "k": 3},
+                )
+
+            box["response"] = asyncio.run(ask())
+            os.kill(os.getpid(), signal.SIGTERM)
+
+        worker = threading.Thread(target=client)
+        worker.start()
+        try:
+            code = main(["serve", "--db", str(generated_db), "--http", "127.0.0.1:0"])
+        finally:
+            worker.join(timeout=30)
+        assert not worker.is_alive()
+        assert code == 0
+        response = box["response"]
+        assert response.status == 200
+        assert response.json()["results"]
+        err = capsys.readouterr().err
+        assert "serving http://127.0.0.1:" in err and "[ready]" in err
+        assert "served 1 queries" in err
 
 
 class TestStaleIndexCli:

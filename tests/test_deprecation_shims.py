@@ -1,0 +1,86 @@
+"""The deprecation shims must warn *and* delegate bit-identically.
+
+PR 3 left two public names behind as thin shims over the typed request
+layer: ``repro.core.search._coerce_query`` (the old ad-hoc query
+coercion, now :meth:`QueryRequest.from_obj`) and
+``repro.queries.runner.s3k_runner`` (now :func:`engine_runner`).  A
+shim that drifts from its replacement is worse than no shim — these
+tests pin both halves of the contract.
+"""
+
+import warnings
+
+import pytest
+
+from repro import Engine, QueryRequest, S3kSearch
+from repro.core.search import _coerce_query
+from repro.queries.runner import engine_runner, s3k_runner
+from repro.queries.workload import QuerySpec
+
+from .fixtures import figure1_instance
+
+
+def _silently(callable_, *args, **kwargs):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return callable_(*args, **kwargs)
+
+
+class TestCoerceQueryShim:
+    def test_warns_deprecation(self):
+        with pytest.warns(DeprecationWarning, match="QueryRequest.from_obj"):
+            _coerce_query(("u1", ["degre"], 3), 5)
+
+    def test_delegates_bit_identically_to_from_obj(self):
+        shapes = [
+            ("u1", ["degre"], 3),
+            ("u1", ["degre"]),
+            ["u0", ("debate", "degre"), 2],
+            {"seeker": "u1", "keywords": ["degre", "degre"], "k": 2},
+            {"seeker": "u4", "keywords": ["university"]},
+            QuerySpec("u1", ("degre",), 4),
+            QueryRequest(seeker="u0", keywords=("debate",), k=1),
+        ]
+        for shape in shapes:
+            seeker, keywords, k = _silently(_coerce_query, shape, 7)
+            request = QueryRequest.from_obj(shape, default_k=7)
+            assert (seeker, keywords, k) == (
+                request.seeker,
+                request.keywords,
+                request.k,
+            ), f"shim diverged from from_obj on {shape!r}"
+
+    def test_shim_rejects_what_from_obj_rejects(self):
+        with pytest.raises(TypeError):
+            _silently(_coerce_query, {"seeker": "u1"}, 5)
+        with pytest.raises(TypeError):
+            _silently(_coerce_query, 42, 5)
+
+
+class TestS3kRunnerShim:
+    def test_warns_deprecation(self):
+        engine = Engine(figure1_instance())
+        with pytest.warns(DeprecationWarning, match="engine_runner"):
+            s3k_runner(engine)
+
+    def test_delegates_bit_identically_over_engine(self):
+        engine = Engine(figure1_instance())
+        deprecated = _silently(s3k_runner, engine, k=3, semantic=True)
+        current = engine_runner(engine, k=3, semantic=True)
+        for spec in (
+            QuerySpec("u1", ("degre",), 3),
+            QuerySpec("u0", ("debate",), 2),
+            QuerySpec("u4", ("university", "degre"), 1),
+        ):
+            old = deprecated(spec)
+            new = current(spec)
+            assert old.results == new.results
+            assert old.result.iterations == new.result.iterations
+            assert old.result.terminated_by == new.result.terminated_by
+
+    def test_delegates_over_bare_kernel_too(self):
+        kernel = S3kSearch(figure1_instance())
+        deprecated = _silently(s3k_runner, kernel)
+        current = engine_runner(kernel)
+        spec = QuerySpec("u1", ("degre",), 3)
+        assert deprecated(spec).results == current(spec).results

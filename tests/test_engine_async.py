@@ -250,6 +250,88 @@ class TestCollapsing:
         assert all(isinstance(r, RuntimeError) for r in results)
 
 
+class TestCancellationIsolation:
+    """A waiter cancelled mid-flush (what an expired serving deadline
+    does via ``asyncio.wait_for``) must not poison its co-batched
+    neighbors or leak the in-flight-collapse map (ISSUE 6)."""
+
+    def _blocked_compute(self):
+        release = threading.Event()
+
+        def compute(requests):
+            assert release.wait(TIMEOUT)
+            return [_result_for(r) for r in requests]
+
+        return release, compute
+
+    def test_cancelled_waiter_mid_flush_spares_neighbors(self):
+        release, compute = self._blocked_compute()
+        executor = ThreadPoolExecutor(max_workers=1)
+        request_a = QueryRequest(seeker="u1", keywords=("a",), k=1)
+        request_b = QueryRequest(seeker="u2", keywords=("b",), k=1)
+
+        async def go():
+            batcher = Batcher(
+                compute, max_batch_size=2, max_delay=60.0, executor=executor
+            )
+            task_a = asyncio.create_task(batcher.submit(request_a))
+            task_b = asyncio.create_task(batcher.submit(request_b))
+            # Yield until the size flush dispatched the window (no
+            # timers: the second submit flushes synchronously).
+            while not batcher._inflight:
+                await asyncio.sleep(0)
+            task_a.cancel()  # deadline hit while the batch is computing
+            release.set()
+            served_b = await task_b
+            with pytest.raises(asyncio.CancelledError):
+                await task_a
+            await batcher.aclose()
+            return batcher, served_b
+
+        try:
+            batcher, served_b = run(go())
+        finally:
+            release.set()
+            executor.shutdown(wait=True)
+        assert served_b.result.seeker == request_b.seeker
+        assert served_b.batch_size == 2  # the neighbor rode the same batch
+        assert batcher._inflight == {}  # no leak in the collapse map
+        assert batcher._window == [] and batcher._window_futures == {}
+
+    def test_cancelled_collapsed_waiter_leaves_original_running(self):
+        release, compute = self._blocked_compute()
+        executor = ThreadPoolExecutor(max_workers=1)
+        request = QueryRequest(seeker="u1", keywords=("a",), k=1)
+
+        async def go():
+            batcher = Batcher(
+                compute, max_batch_size=1, max_delay=0.0, executor=executor
+            )
+            original = asyncio.create_task(batcher.submit(request))
+            while not batcher._inflight:
+                await asyncio.sleep(0)
+            rider = asyncio.create_task(batcher.submit(request))
+            while batcher.collapsed == 0:
+                await asyncio.sleep(0)
+            rider.cancel()  # the joined waiter gives up...
+            release.set()
+            served = await original  # ...the original still completes
+            with pytest.raises(asyncio.CancelledError):
+                await rider
+            await batcher.aclose()
+            return batcher, served
+
+        try:
+            batcher, served = run(go())
+        finally:
+            release.set()
+            executor.shutdown(wait=True)
+        assert served.result.seeker == request.seeker
+        assert not served.collapsed
+        assert batcher.computed == 1 and batcher.collapsed == 1
+        assert batcher._inflight == {}
+
+
 class TestBitIdentity:
     def _assert_concurrent_matches_sequential(self, instance, queries):
         engine = Engine(
