@@ -50,6 +50,7 @@ import asyncio
 import itertools
 import json
 import logging
+import re
 import signal
 import threading
 import time
@@ -163,6 +164,23 @@ class FaultInjector:
             return original(requests)
 
         engine._search_requests = gated  # instance attr shadows the method
+
+
+#: CR / LF / NUL in an emitted header value would let a client split the
+#: response or forge extra headers (request-ids are echoed verbatim).
+_HEADER_UNSAFE = re.compile(r"[\r\n\x00]")
+
+
+def _header_value(value: object) -> str:
+    """Make *value* safe to emit as an HTTP/1.1 header value.
+
+    Strips response-splitting control bytes and forces latin-1
+    encodability (non-encodable characters become ``?``), so a hostile
+    or merely exotic client-supplied request id can neither inject
+    headers nor crash the connection writer.
+    """
+    text = _HEADER_UNSAFE.sub("", str(value))
+    return text.encode("latin-1", "replace").decode("latin-1")
 
 
 def _jsonable(value: object) -> object:
@@ -383,7 +401,13 @@ class HttpServer:
                         self._draining
                         or headers.get("connection", "").lower() == "close"
                     )
-                    writer.write(self._encode(status, payload, close=close, extra=extra))
+                    try:
+                        data = self._encode(status, payload, close=close, extra=extra)
+                    except Exception as exc:  # noqa: BLE001 - unencodable payload
+                        self.counters["errors"] += 1
+                        status, close, extra = 500, True, {}
+                        data = self._encode(500, error_payload(exc), close=True)
+                    writer.write(data)
                     await writer.drain()
                     log.info(
                         "%s %s -> %d id=%s %.2fms",
@@ -426,7 +450,12 @@ class HttpServer:
                 break
             name, _, value = header_line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", 0) or 0)
+        try:
+            length = int(headers.get("content-length", 0) or 0)
+        except ValueError:
+            raise _BadRequestLine(b"unparseable content-length") from None
+        if length < 0:
+            raise _BadRequestLine(b"negative content-length")
         if length > MAX_BODY_BYTES:
             raise _BadRequestLine(b"body too large")
         body = await reader.readexactly(length) if length else b""
@@ -449,7 +478,7 @@ class HttpServer:
             f"connection: {'close' if close else 'keep-alive'}",
         ]
         for name, value in (extra or {}).items():
-            headers.append(f"{name}: {value}")
+            headers.append(f"{_header_value(name)}: {_header_value(value)}")
         return ("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + body
 
     # ------------------------------------------------------------------
@@ -541,6 +570,24 @@ class HttpServer:
             return classify_error(exc)[0], error_payload(exc, request_id), extra
 
         cost = max(1, len(queries)) if queries is not None else 1
+        if cost > self.config.max_inflight:
+            # No amount of retrying can admit this batch — it is larger
+            # than the whole admission queue.  Answer 413 with a remedy
+            # instead of a 429 whose Retry-After could never succeed.
+            self.counters["errors"] += 1
+            payload = {
+                "error": {
+                    "type": "batch_too_large",
+                    "status": 413,
+                    "message": (
+                        f"batch of {cost} queries exceeds max_inflight="
+                        f"{self.config.max_inflight}; split it into "
+                        f"smaller requests"
+                    ),
+                },
+                "id": request_id,
+            }
+            return 413, payload, extra
         if (
             self.faults.force_queue_full
             or self._inflight + cost > self.config.max_inflight

@@ -206,6 +206,63 @@ class TestRoutingAndWireFormat:
         assert generated.headers["x-request-id"].startswith("req-")
         assert any("id=trace-me" in message for message in caplog.messages)
 
+    def test_request_id_cannot_inject_response_headers(self):
+        # A body id carrying CRLF must not split the response: the
+        # echoed x-request-id header is sanitized, no forged header
+        # reaches the client, and the keep-alive framing stays intact.
+        hostile = dict(QUERY, id="x\r\nx-injected: owned")
+
+        async def go():
+            async with running_server(_engine()) as server:
+                connection = await HttpClientConnection.open(server.port)
+                try:
+                    first = await connection.request("POST", "/search", body=hostile)
+                    # The connection is not desynced: a normal request
+                    # on the same socket still parses cleanly.
+                    second = await connection.request("POST", "/search", body=QUERY)
+                finally:
+                    await connection.aclose()
+                return first, second
+
+        first, second = run(go())
+        assert first.status == 200
+        assert "x-injected" not in first.headers
+        assert first.headers["x-request-id"] == "xx-injected: owned"
+        assert second.status == 200
+
+    def test_non_latin1_request_id_still_gets_a_response(self):
+        # "☃" is not latin-1 encodable; the echoed header must be
+        # degraded (not raise UnicodeEncodeError and kill the
+        # connection), while the JSON body keeps the exact id.
+        snowman = dict(QUERY, id="☃")
+
+        async def go():
+            async with running_server(_engine()) as server:
+                return await http_call(server.port, "POST", "/search", body=snowman)
+
+        response = run(go())
+        assert response.status == 200
+        assert response.headers["x-request-id"] == "?"
+        assert response.json()["id"] == "☃"
+
+    @pytest.mark.parametrize("value", [b"abc", b"-5"])
+    def test_bad_content_length_answers_400(self, value):
+        async def go():
+            async with running_server(_engine()) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(
+                    b"POST /search HTTP/1.1\r\nhost: localhost\r\n"
+                    b"content-length: " + value + b"\r\n\r\n"
+                )
+                await writer.drain()
+                status_line = await reader.readline()
+                writer.close()
+                return status_line
+
+        assert b"400" in run(go())
+
 
 class TestBackpressure:
     def test_forced_queue_full_trips_429_with_retry_after(self):
@@ -251,7 +308,10 @@ class TestBackpressure:
         assert completed.status == 200
         assert retried.status == 200  # capacity freed: admitted again
 
-    def test_batch_admission_counts_every_query(self):
+    def test_impossible_batch_answers_413_not_429(self):
+        # A batch larger than max_inflight can never be admitted, so a
+        # 429 + Retry-After would send the client into a futile retry
+        # loop; it must get a 413 with a split-the-batch remedy instead.
         async def go():
             async with running_server(
                 _engine(), config=HttpConfig(port=0, max_inflight=2)
@@ -263,7 +323,12 @@ class TestBackpressure:
                     body={"queries": [QUERY, OTHER, QUERY]},
                 )
 
-        assert run(go()).status == 429  # 3 queries > 2 slots, even when idle
+        response = run(go())
+        assert response.status == 413  # 3 queries > 2 slots, even when idle
+        error = response.json()["error"]
+        assert error["type"] == "batch_too_large"
+        assert "split" in error["message"]
+        assert "retry-after" not in response.headers
 
 
 class TestDeadlines:
