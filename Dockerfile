@@ -15,7 +15,9 @@ COPY src/ src/
 ENV PYTHONPATH=/app/src \
     PYTHONUNBUFFERED=1 \
     DB=/data/i1.db \
-    HTTP_ADDR=0.0.0.0:8080
+    HTTP_ADDR=0.0.0.0:8080 \
+    SHARDS=1 \
+    SLAB_BACKEND=mmap
 
 VOLUME /data
 EXPOSE 8080
@@ -26,13 +28,23 @@ HEALTHCHECK --interval=10s --timeout=3s --start-period=60s \
     urllib.request.urlopen(f'http://127.0.0.1:{port}/healthz', timeout=2)"
 
 # `exec` keeps the server as PID 1: SIGTERM from the runtime stops the
-# listener, flushes in-flight micro-batches, and exits cleanly instead
+# listener, flushes in-flight micro-batches (with SHARDS > 1 the router
+# quiesces before any worker process stops), and exits cleanly instead
 # of dropping requests on the floor.  --rebuild-stale-index repairs
 # slabs left stale by offline writes to the mounted database.
+#
+# SHARDS=N forks N full-engine worker processes off one warm parent;
+# with the default mmap slab backend the index slabs are exported once
+# to an uncompressed-npz sidecar next to $DB and memory-mapped by every
+# worker — one physical copy regardless of N.  SLAB_BACKEND=shm places
+# them in POSIX shared memory instead (size /dev/shm accordingly, see
+# docker-compose.yml).
 CMD ["sh", "-c", "\
   if [ ! -f \"$DB\" ]; then \
     echo \"bootstrapping demo instance at $DB\" >&2 && \
     python -m repro generate --dataset twitter --out \"$DB\" --scale 1.0 && \
     python -m repro index --db \"$DB\"; \
   fi && \
-  exec python -m repro serve --db \"$DB\" --http \"$HTTP_ADDR\" --rebuild-stale-index"]
+  exec python -m repro serve --db \"$DB\" --http \"$HTTP_ADDR\" \
+    --shards \"$SHARDS\" --slab-backend \"$SLAB_BACKEND\" \
+    --rebuild-stale-index"]

@@ -20,7 +20,9 @@ reports throughput, latency percentiles and the engine's merged stats;
 async micro-batching path, one JSON answer per line — or, with
 ``--http HOST:PORT``, runs the HTTP serving tier (``POST /search``,
 ``GET /stats``, ``GET /healthz``) with bounded admission, per-request
-deadlines and graceful SIGTERM drain; ``compare`` runs
+deadlines and graceful SIGTERM drain — ``--shards N`` serves through
+the process-parallel sharded executor (N worker processes over shared
+index slabs, see :mod:`repro.engine.sharded`); ``compare`` runs
 the Figure 8 qualitative comparison between S3k and the TopkS baseline.
 
 Every query-answering subcommand goes through the
@@ -148,6 +150,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--request-deadline", type=float, default=None, metavar="SECONDS",
         help="default per-request deadline applied when a request "
         "carries none (HTTP mode; expiry answers 504)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=1,
+        help="worker processes; > 1 serves through the process-parallel "
+        "sharded executor (each shard a full engine over shared index "
+        "slabs; crashed workers respawn from the warm router image)",
+    )
+    serve.add_argument(
+        "--slab-backend", choices=("mmap", "shm", "heap"), default="mmap",
+        help="where the sharded executor places the immutable index "
+        "arrays: mmap'd sidecar files next to the db (default), POSIX "
+        "shared memory, or plain heap + fork copy-on-write",
     )
     serve.add_argument("-k", type=int, default=5, help="default k per request")
     serve.add_argument(
@@ -335,12 +349,15 @@ def _serve_http(args: argparse.Namespace) -> int:
             default_deadline=args.request_deadline,
         ),
         stale_slabs=stale,
+        shards=args.shards,
+        slab_backend=args.slab_backend,
     )
 
     def ready(started: HttpServer) -> None:
         state = "DEGRADED (stale index slabs)" if started.failure else "ready"
+        shards = f", {args.shards} shards" if args.shards > 1 else ""
         print(
-            f"serving http://{host}:{started.port} [{state}] — "
+            f"serving http://{host}:{started.port} [{state}{shards}] — "
             f"SIGTERM drains gracefully",
             file=sys.stderr,
         )
@@ -368,7 +385,19 @@ def _serve(args: argparse.Namespace) -> int:
         max_batch_size=args.max_batch_size,
         batch_deadline=args.batch_deadline,
     )
-    engine = _engine_from_args(args, config=config)
+    if args.shards > 1:
+        from .engine.sharded import ShardedEngine
+
+        stale = "rebuild" if args.rebuild_stale_index else "error"
+        engine = ShardedEngine.from_store(
+            args.db,
+            shards=args.shards,
+            config=config,
+            stale_slabs=stale,
+            slab_backend=args.slab_backend,
+        )
+    else:
+        engine = _engine_from_args(args, config=config)
 
     def write(text: str) -> None:
         # Flush per answer: a live client must see responses immediately,

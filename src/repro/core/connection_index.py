@@ -227,10 +227,22 @@ class _ComponentSlab:
         strings += sum(len(str(a)) for a in self.atoms)
         return int(sum(a.nbytes for a in arrays)) + strings
 
-    # -- serialization --------------------------------------------------
-    def to_payload(self) -> Tuple[str, bytes]:
-        """``(header JSON, npz blob)`` — everything needed to reload."""
-        header = json.dumps(
+    # -- serialization / placement --------------------------------------
+    #: numeric arrays that may be placed in shared memory or mmap'd files
+    #: (the header strings are decoded per process — they are tiny).
+    ARRAY_FIELDS = (
+        "pair_types",
+        "atom_ptr",
+        "ev_node",
+        "ev_ptr",
+        "ev_pair",
+        "coverage",
+        "candidate_order",
+    )
+
+    def header(self) -> str:
+        """The JSON header: identity, fingerprint and interned strings."""
+        return json.dumps(
             {
                 "ident": self.ident,
                 "fingerprint": self.fingerprint,
@@ -239,21 +251,23 @@ class _ComponentSlab:
                 "pair_sources": [str(u) for u in self.pair_sources],
             }
         )
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        """The numeric evidence arrays (immutable once built)."""
+        return {name: getattr(self, name) for name in self.ARRAY_FIELDS}
+
+    def to_payload(self) -> Tuple[str, bytes]:
+        """``(header JSON, npz blob)`` — everything needed to reload."""
         buffer = io.BytesIO()
-        np.savez_compressed(
-            buffer,
-            pair_types=self.pair_types,
-            atom_ptr=self.atom_ptr,
-            ev_node=self.ev_node,
-            ev_ptr=self.ev_ptr,
-            ev_pair=self.ev_pair,
-            coverage=self.coverage,
-            candidate_order=self.candidate_order,
-        )
-        return header, buffer.getvalue()
+        np.savez_compressed(buffer, **self.arrays())
+        return self.header(), buffer.getvalue()
 
     @classmethod
-    def from_payload(cls, header: str, blob: bytes) -> "_ComponentSlab":
+    def from_arrays(
+        cls, header: str, arrays: "Dict[str, np.ndarray]"
+    ) -> "_ComponentSlab":
+        """Rebuild a slab around externally placed arrays (zero-copy:
+        the arrays are adopted as-is, e.g. read-only mmap views)."""
         meta = json.loads(header)
         slab = cls()
         slab.ident = int(meta["ident"])
@@ -263,15 +277,14 @@ class _ComponentSlab:
         slab.node_uris = [URI(u) for u in meta["nodes"]]
         slab.node_of = {u: i for i, u in enumerate(slab.node_uris)}
         slab.pair_sources = [URI(u) for u in meta["pair_sources"]]
-        arrays = np.load(io.BytesIO(blob))
-        slab.pair_types = arrays["pair_types"]
-        slab.atom_ptr = arrays["atom_ptr"]
-        slab.ev_node = arrays["ev_node"]
-        slab.ev_ptr = arrays["ev_ptr"]
-        slab.ev_pair = arrays["ev_pair"]
-        slab.coverage = arrays["coverage"]
-        slab.candidate_order = arrays["candidate_order"]
+        for name in cls.ARRAY_FIELDS:
+            setattr(slab, name, arrays[name])
         return slab
+
+    @classmethod
+    def from_payload(cls, header: str, blob: bytes) -> "_ComponentSlab":
+        with np.load(io.BytesIO(blob)) as arrays:
+            return cls.from_arrays(header, {k: arrays[k] for k in cls.ARRAY_FIELDS})
 
 
 class ConnectionIndex:
@@ -338,7 +351,47 @@ class ConnectionIndex:
         :class:`StaleIndexError` naming the mismatch, so a cold start
         that was supposed to be warm cannot pass silently.
         """
-        slab = _ComponentSlab.from_payload(header, blob)
+        return self._adopt(_ComponentSlab.from_payload(header, blob), strict)
+
+    def adopt_arrays(
+        self, header: str, arrays: Dict[str, np.ndarray], strict: bool = False
+    ) -> bool:
+        """Adopt one slab around externally placed arrays (shm / mmap
+        views), under the same shape and fingerprint guards as
+        :meth:`adopt_payload` — placement never weakens staleness
+        detection."""
+        return self._adopt(_ComponentSlab.from_arrays(header, arrays), strict)
+
+    def export_slabs(self, store) -> int:
+        """Place every built slab into a
+        :class:`~repro.storage.slab_store.SlabStore` (one
+        ``component_<ident>`` bundle each, header as meta); returns the
+        number placed."""
+        count = 0
+        for ident in sorted(self._slabs):
+            slab = self._slabs[ident]
+            store.put(f"component_{ident}", slab.arrays(), meta=slab.header())
+            count += 1
+        return count
+
+    def adopt_slab_store(self, store, strict: bool = False) -> int:
+        """Adopt every ``component_*`` bundle of a slab store (the worker
+        side of :meth:`export_slabs`); returns the number adopted."""
+        count = 0
+        for name in store.names():
+            if not name.startswith("component_"):
+                continue
+            header = store.meta(name)
+            if header is None:
+                raise StaleIndexError(
+                    f"slab bundle {name!r} has no header metadata; it cannot "
+                    "be fingerprint-checked and will not be adopted"
+                )
+            if self.adopt_arrays(header, store.get(name), strict=strict):
+                count += 1
+        return count
+
+    def _adopt(self, slab: _ComponentSlab, strict: bool) -> bool:
         mismatch: Optional[str] = None
         component: Optional[Component] = None
         if slab.ident >= len(self.component_index):

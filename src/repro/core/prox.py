@@ -103,7 +103,42 @@ class ProximityIndex:
         #: transposed transition, so that ``next = T^T @ border`` is a
         #: single CSR mat-vec.
         self._transition_t = matrix.transpose().tocsr()
+        self._transition_t.sort_indices()
         self._rows = row_dicts
+
+    # ------------------------------------------------------------------
+    # Transition placement (SlabStore hooks)
+    # ------------------------------------------------------------------
+    def transition_arrays(self) -> Optional[Dict[str, np.ndarray]]:
+        """The transposed-transition CSR arrays, for placement in a
+        :class:`~repro.storage.slab_store.SlabStore` (``None`` in naive
+        row-dict mode — there is no matrix to place)."""
+        if not self.use_matrix:
+            return None
+        matrix = self._transition_t
+        return {
+            "data": matrix.data,
+            "indices": matrix.indices,
+            "indptr": matrix.indptr,
+        }
+
+    def adopt_transition(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Rebuild the stepping matrix around externally placed CSR
+        arrays (read-only shm / mmap views) — zero-copy: stepping is
+        pure ``T^T @ border`` reads, so shared pages are never written.
+        """
+        n = len(self._nodes)
+        matrix = sparse.csr_matrix(
+            (arrays["data"], arrays["indices"], arrays["indptr"]),
+            shape=(n, n),
+            copy=False,
+        )
+        # The exported arrays came from a sorted canonical CSR; recording
+        # that here keeps scipy from ever trying to (re)sort — which
+        # would write into the read-only shared buffers.
+        matrix.has_sorted_indices = True
+        matrix.has_canonical_format = True
+        self._transition_t = matrix
 
     # ------------------------------------------------------------------
     # Border propagation

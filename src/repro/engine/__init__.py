@@ -15,19 +15,25 @@ Layering (see README *Architecture*)::
 :class:`Engine` is the single supported entry point; direct
 :class:`~repro.core.search.S3kSearch` construction keeps working as the
 internal compute kernel for tests and benchmarks.
+:class:`ShardedEngine` is the process-parallel drop-in: the same request
+API routed over N worker processes, each a full ``Engine`` serving from
+shared (mmap / shm / fork-COW) index slabs.
 """
 
 from .batcher import Batcher, Served
-from .errors import classify_error, error_payload
+from .errors import ShardUnavailableError, classify_error, error_payload
 from .facade import Engine, EngineConfig
 from .http import FaultInjector, HttpConfig, HttpServer, run_http_server
 from .request import QueryRequest, QueryResponse
 from .serve import run_serve, serve_lines
+from .sharded import ShardedEngine
 from ..core.connection_index import StaleIndexError
 
 __all__ = [
     "Engine",
     "EngineConfig",
+    "ShardedEngine",
+    "ShardUnavailableError",
     "Batcher",
     "Served",
     "QueryRequest",

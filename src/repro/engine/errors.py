@@ -19,7 +19,24 @@ from typing import Dict, Optional, Tuple
 
 from ..core.connection_index import StaleIndexError
 
-__all__ = ["classify_error", "error_message", "error_payload"]
+__all__ = [
+    "ShardUnavailableError",
+    "classify_error",
+    "error_message",
+    "error_payload",
+]
+
+
+class ShardUnavailableError(RuntimeError):
+    """A sharded-executor worker process died (or is respawning) while
+    holding this request.
+
+    The router answers the affected in-flight requests with this error —
+    shaped as a structured 503, so clients retry against the (respawned)
+    shard or another replica — and forks a replacement worker.  Defined
+    here rather than in :mod:`repro.engine.sharded` so the error shaping
+    has no import cycle with the router.
+    """
 
 
 def classify_error(exc: BaseException) -> Tuple[int, str]:
@@ -29,11 +46,15 @@ def classify_error(exc: BaseException) -> Tuple[int, str]:
     * unknown seeker / entity (the kernel raises ``KeyError``) → 404;
     * stale persisted index slabs → 503 (the operator must re-index or
       opt into ``--rebuild-stale-index``);
+    * a crashed / respawning shard worker → 503 (retryable: the router
+      respawns the worker; a load balancer retries elsewhere meanwhile);
     * an expired per-request deadline → 504;
     * anything else → 500.
     """
     if isinstance(exc, StaleIndexError):
         return 503, "stale_index"
+    if isinstance(exc, ShardUnavailableError):
+        return 503, "shard_unavailable"
     if isinstance(exc, asyncio.TimeoutError):
         return 504, "deadline_exceeded"
     if isinstance(exc, KeyError):

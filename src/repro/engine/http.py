@@ -256,14 +256,39 @@ class HttpServer:
         config: Optional[HttpConfig] = None,
         stale_slabs: str = "error",
         faults: Optional[FaultInjector] = None,
+        shards: int = 1,
+        slab_backend: str = "mmap",
+        sidecar_dir=None,
     ) -> "HttpServer":
         """A server over a SQLite store; stale slabs yield a degraded
         server (503 everywhere) instead of a crash — the HTTP analogue
-        of the CLI's loud :class:`StaleIndexError` abort."""
+        of the CLI's loud :class:`StaleIndexError` abort.
+
+        With ``shards > 1`` the server fronts a process-parallel
+        :class:`~repro.engine.sharded.ShardedEngine` instead of one
+        in-process engine: the persisted index slabs are placed once
+        (*slab_backend*: mmap'd sidecar files, POSIX shm, or plain heap
+        + fork copy-on-write) and every worker serves from the shared
+        copy.  Everything above the engine — admission control,
+        deadlines, drain, failure injection — is unchanged; drain
+        quiesces the router before the workers stop.
+        """
         try:
-            engine = Engine.from_store(
-                store, config=engine_config, stale_slabs=stale_slabs
-            )
+            if shards > 1:
+                from .sharded import ShardedEngine
+
+                engine = ShardedEngine.from_store(
+                    store,
+                    shards=shards,
+                    config=engine_config,
+                    stale_slabs=stale_slabs,
+                    slab_backend=slab_backend,
+                    sidecar_dir=sidecar_dir,
+                )
+            else:
+                engine = Engine.from_store(
+                    store, config=engine_config, stale_slabs=stale_slabs
+                )
         except StaleIndexError as exc:
             log.error("stale index slabs, serving degraded: %s", exc)
             return cls(None, config=config, failure=exc, faults=faults)

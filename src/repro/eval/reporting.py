@@ -80,20 +80,31 @@ def format_engine_stats(
 
     This is the single reporting surface over the merged engine / cache /
     index / batcher counters — the CLI and benchmarks read the facade's
-    ``stats()`` instead of poking at ``S3kSearch`` internals.  Empty
-    sections are omitted; float counters (build seconds, rates) keep a
-    short fixed precision.
+    ``stats()`` instead of poking at ``S3kSearch`` internals.  The
+    sharded executor's snapshot renders the same way: its ``router`` and
+    per-worker ``shard_<i>`` breakdowns are sections like any other, and
+    a counter whose value is itself a mapping flattens one level to
+    dotted names.  Empty sections are omitted; float counters (build
+    seconds, rates) keep a short fixed precision.
     """
+
+    def _render(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
     rows: List[List[str]] = []
     for section, counters in stats.items():
         if not counters:
             continue
         for name, value in counters.items():
-            if isinstance(value, float):
-                rendered = f"{value:.3f}"
+            if isinstance(value, dict):
+                rows.extend(
+                    [section, f"{name}.{sub}", _render(nested)]
+                    for sub, nested in value.items()
+                )
             else:
-                rendered = str(value)
-            rows.append([section, name, rendered])
+                rows.append([section, name, _render(value)])
     return format_table(["section", "counter", "value"], rows, title=title)
 
 

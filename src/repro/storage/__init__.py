@@ -1,5 +1,21 @@
-"""Persistence: the SQLite store standing in for the paper's PostgreSQL."""
+"""Persistence: the SQLite store standing in for the paper's PostgreSQL,
+plus the :class:`SlabStore` placement protocol for the immutable index
+arrays (heap / shared-memory / mmap backends)."""
 
+from .slab_store import (
+    HeapSlabStore,
+    MmapSlabStore,
+    ShmSlabStore,
+    SlabStore,
+    open_slab_store,
+)
 from .sqlite_store import SQLiteStore
 
-__all__ = ["SQLiteStore"]
+__all__ = [
+    "SQLiteStore",
+    "SlabStore",
+    "HeapSlabStore",
+    "MmapSlabStore",
+    "ShmSlabStore",
+    "open_slab_store",
+]

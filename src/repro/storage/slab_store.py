@@ -1,0 +1,420 @@
+"""Swappable placement for immutable index arrays (the SlabStore).
+
+The ConnectionIndex CSR slabs and the proximity transition matrix are
+immutable once built, which makes them the natural unit of *placement*:
+they can live on the Python heap (single process), in POSIX shared
+memory (``multiprocessing.shared_memory``), or inside mmap'd files —
+and the kernel must never know the difference.  :class:`SlabStore` is
+the protocol; :class:`HeapSlabStore`, :class:`ShmSlabStore` and
+:class:`MmapSlabStore` are the backends.  ``repro.engine.sharded``
+places slabs through this protocol so N worker processes share one
+physical copy of every index array instead of deserializing N times.
+
+**Why uncompressed npz.**  ``np.savez_compressed`` blobs (the SQLite
+persistence format) cannot be memory-mapped: a DEFLATE stream has no
+addressable array bytes.  ``np.savez`` without compression stores each
+member ``ZIP_STORED`` — the raw ``.npy`` bytes sit verbatim at a fixed
+offset inside the archive, so :func:`npz_member_layout` can locate each
+member's data and hand it to ``np.memmap`` (files) or ``np.ndarray``
+over a shared-memory buffer, zero-copy.  ``np.load(..., mmap_mode=...)``
+does **not** do this for ``.npz`` archives (it maps nothing and reads
+members eagerly), which is why the offset parsing lives here.
+
+Every ``put`` may carry a *meta* string (the slab's JSON header with
+its content fingerprint); ``meta`` is readable without touching the
+arrays, so adoption guards run before any mapping is trusted.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import itertools
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "SlabStore",
+    "HeapSlabStore",
+    "MmapSlabStore",
+    "ShmSlabStore",
+    "npz_member_layout",
+    "open_slab_store",
+]
+
+#: Magic prefixing a shared-memory slab segment (guards against
+#: attaching to a foreign segment that happens to share a name).
+_SHM_MAGIC = b"S3KS"
+
+
+# ----------------------------------------------------------------------
+# Uncompressed-npz member layout
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _MemberLayout:
+    """Where one array's raw bytes live inside an uncompressed npz."""
+
+    name: str
+    dtype: np.dtype
+    shape: Tuple[int, ...]
+    fortran: bool
+    offset: int  # absolute offset of the array data (past the npy header)
+
+
+def _read_npy_header(fp) -> Tuple[Tuple[int, ...], bool, np.dtype]:
+    version = np.lib.format.read_magic(fp)
+    if version[0] == 1:
+        return np.lib.format.read_array_header_1_0(fp)
+    if version[0] in (2, 3):
+        return np.lib.format.read_array_header_2_0(fp)
+    raise ValueError(f"unsupported .npy format version {version}")
+
+
+def npz_member_layout(fp) -> Dict[str, _MemberLayout]:
+    """Member name → absolute (dtype, shape, offset) of an uncompressed npz.
+
+    *fp* is any seekable binary file-like over the whole archive.  A
+    compressed member is a hard error: its bytes are a DEFLATE stream,
+    not an array, and mapping it would serve garbage.
+    """
+    layout: Dict[str, _MemberLayout] = {}
+    with zipfile.ZipFile(fp) as archive:
+        infos = archive.infolist()
+    for info in infos:
+        if info.compress_type != zipfile.ZIP_STORED:
+            raise ValueError(
+                f"npz member {info.filename!r} is compressed and cannot be "
+                "memory-mapped; write the archive with np.savez (uncompressed)"
+            )
+        fp.seek(info.header_offset)
+        local = fp.read(30)
+        if local[:4] != b"PK\x03\x04":
+            raise ValueError(f"corrupt zip local header for {info.filename!r}")
+        name_len = int.from_bytes(local[26:28], "little")
+        extra_len = int.from_bytes(local[28:30], "little")
+        # The local extra field may differ from the central directory's,
+        # so the data offset must come from the local header itself.
+        fp.seek(info.header_offset + 30 + name_len + extra_len)
+        shape, fortran, dtype = _read_npy_header(fp)
+        name = info.filename[:-4] if info.filename.endswith(".npy") else info.filename
+        layout[name] = _MemberLayout(name, dtype, shape, fortran, fp.tell())
+    return layout
+
+
+class _MemoryFile:
+    """Seekable read-only file over a memoryview (no copy, for zipfile)."""
+
+    def __init__(self, view: memoryview):
+        self._view = view
+        self._pos = 0
+
+    def read(self, size: int = -1) -> bytes:
+        end = len(self._view) if size is None or size < 0 else self._pos + size
+        data = bytes(self._view[self._pos : end])
+        self._pos += len(data)
+        return data
+
+    def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:
+        if whence == os.SEEK_SET:
+            self._pos = offset
+        elif whence == os.SEEK_CUR:
+            self._pos += offset
+        else:
+            self._pos = len(self._view) + offset
+        return self._pos
+
+    def tell(self) -> int:
+        return self._pos
+
+    def seekable(self) -> bool:
+        return True
+
+
+def _empty_like(member: _MemberLayout) -> np.ndarray:
+    order = "F" if member.fortran else "C"
+    return np.zeros(member.shape, dtype=member.dtype, order=order)
+
+
+# ----------------------------------------------------------------------
+# The protocol
+# ----------------------------------------------------------------------
+class SlabStore:
+    """Named immutable array bundles, placed wherever the backend says.
+
+    ``put(name, arrays, meta)`` stores a bundle; ``get(name)`` returns
+    ``{array_name: ndarray}`` — zero-copy views for the shm / mmap
+    backends, so N readers share one physical copy; ``meta(name)``
+    returns the string stored alongside (fingerprint headers) without
+    touching the arrays.  Stores are write-once per name: slabs are
+    immutable, a second ``put`` of the same name is a bug.
+    """
+
+    backend = "abstract"
+
+    def put(
+        self, name: str, arrays: Mapping[str, np.ndarray], meta: Optional[str] = None
+    ) -> None:
+        raise NotImplementedError
+
+    def get(self, name: str) -> Dict[str, np.ndarray]:
+        raise NotImplementedError
+
+    def meta(self, name: str) -> Optional[str]:
+        raise NotImplementedError
+
+    def names(self) -> List[str]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (views from :meth:`get` die with it)."""
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.names()
+
+    def stats(self) -> Dict[str, object]:
+        return {"backend": self.backend, "slabs": len(self.names())}
+
+
+# ----------------------------------------------------------------------
+# In-heap backend (single process; the reference implementation)
+# ----------------------------------------------------------------------
+class HeapSlabStore(SlabStore):
+    """Plain-dict backend: arrays stay on the owning process's heap.
+
+    ``get`` returns the stored arrays themselves (they are immutable by
+    contract).  Under ``fork`` child processes still share the physical
+    pages copy-on-write, so this is also the no-setup sharing backend
+    for fork-based workers.
+    """
+
+    backend = "heap"
+
+    def __init__(self) -> None:
+        self._arrays: Dict[str, Dict[str, np.ndarray]] = {}
+        self._meta: Dict[str, Optional[str]] = {}
+
+    def put(self, name, arrays, meta=None):
+        if name in self._arrays:
+            raise ValueError(f"slab {name!r} already stored (slabs are immutable)")
+        self._arrays[name] = dict(arrays)
+        self._meta[name] = meta
+
+    def get(self, name):
+        return dict(self._arrays[name])
+
+    def meta(self, name):
+        return self._meta[name]
+
+    def names(self):
+        return sorted(self._arrays)
+
+    def close(self):
+        self._arrays.clear()
+        self._meta.clear()
+
+
+# ----------------------------------------------------------------------
+# Mmap'd-file backend (uncompressed npz sidecars + manifest)
+# ----------------------------------------------------------------------
+class MmapSlabStore(SlabStore):
+    """One uncompressed ``<name>.npz`` per slab plus a ``manifest.json``.
+
+    ``get`` maps every member read-only with ``np.memmap`` at its
+    computed in-archive offset: the page cache holds one physical copy
+    no matter how many processes map it, and nothing is deserialized.
+    The manifest records each slab's meta string, so fingerprint guards
+    run from one small JSON read.
+    """
+
+    backend = "mmap"
+    MANIFEST = "manifest.json"
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._manifest: Dict[str, Dict[str, object]] = {}
+        manifest_path = self.directory / self.MANIFEST
+        if manifest_path.exists():
+            self._manifest = json.loads(manifest_path.read_text())
+
+    def _path(self, name: str) -> Path:
+        if "/" in name or "\\" in name or name.startswith("."):
+            raise ValueError(f"invalid slab name {name!r}")
+        return self.directory / f"{name}.npz"
+
+    def _write_manifest(self) -> None:
+        path = self.directory / self.MANIFEST
+        path.write_text(json.dumps(self._manifest, indent=1, sort_keys=True) + "\n")
+
+    def put(self, name, arrays, meta=None):
+        if name in self._manifest:
+            raise ValueError(f"slab {name!r} already stored (slabs are immutable)")
+        path = self._path(name)
+        with open(path, "wb") as handle:
+            np.savez(handle, **dict(arrays))
+        self._manifest[name] = {"meta": meta, "file": path.name}
+        self._write_manifest()
+
+    def get(self, name):
+        if name not in self._manifest:
+            raise KeyError(name)
+        path = self._path(name)
+        with open(path, "rb") as handle:
+            layout = npz_member_layout(handle)
+        mapped: Dict[str, np.ndarray] = {}
+        for member in layout.values():
+            if int(np.prod(member.shape)) == 0:
+                # np.memmap refuses zero-length maps; an empty array has
+                # no bytes to share anyway.
+                mapped[member.name] = _empty_like(member)
+                continue
+            mapped[member.name] = np.memmap(
+                path,
+                dtype=member.dtype,
+                mode="r",
+                offset=member.offset,
+                shape=member.shape,
+                order="F" if member.fortran else "C",
+            )
+        return mapped
+
+    def meta(self, name):
+        return self._manifest[name].get("meta")
+
+    def names(self):
+        return sorted(self._manifest)
+
+    def stats(self):
+        size = sum(
+            (self.directory / str(entry["file"])).stat().st_size
+            for entry in self._manifest.values()
+            if (self.directory / str(entry["file"])).exists()
+        )
+        return {"backend": self.backend, "slabs": len(self._manifest), "size_bytes": size}
+
+
+# ----------------------------------------------------------------------
+# POSIX shared-memory backend
+# ----------------------------------------------------------------------
+class ShmSlabStore(SlabStore):
+    """One ``multiprocessing.shared_memory`` segment per slab.
+
+    Segment layout: ``S3KS | meta length (4 LE bytes) | meta utf-8 |
+    uncompressed npz bytes``; ``get`` returns ndarray views straight
+    over the shared buffer at the npz member offsets.  The creating
+    process owns the segments: ``close(unlink=True)`` (the default for
+    the owner) removes them from ``/dev/shm``; attached readers only
+    unmap.  Views from :meth:`get` are valid while the store is open.
+    """
+
+    backend = "shm"
+    _sequence = itertools.count()
+
+    def __init__(self, prefix: Optional[str] = None, *, _attached=None):
+        from multiprocessing import shared_memory  # stdlib, imported lazily
+
+        self._shared_memory = shared_memory
+        self.prefix = prefix or f"s3k{os.getpid()}n{next(self._sequence)}"
+        self._segments: Dict[str, object] = {}
+        self._owned: Dict[str, bool] = {}
+        if _attached:
+            for name in _attached:
+                segment = shared_memory.SharedMemory(name=self._segment_name(name))
+                self._segments[name] = segment
+                self._owned[name] = False
+
+    @classmethod
+    def attach(cls, prefix: str, names: List[str]) -> "ShmSlabStore":
+        """Open an existing store by its segment names (reader side)."""
+        return cls(prefix, _attached=list(names))
+
+    def _segment_name(self, name: str) -> str:
+        return f"{self.prefix}.{name}"
+
+    def put(self, name, arrays, meta=None):
+        if name in self._segments:
+            raise ValueError(f"slab {name!r} already stored (slabs are immutable)")
+        buffer = io.BytesIO()
+        np.savez(buffer, **dict(arrays))
+        blob = buffer.getvalue()
+        meta_bytes = (meta or "").encode("utf-8")
+        total = len(_SHM_MAGIC) + 4 + len(meta_bytes) + len(blob)
+        segment = self._shared_memory.SharedMemory(
+            name=self._segment_name(name), create=True, size=total
+        )
+        view = segment.buf
+        position = 0
+        for chunk in (_SHM_MAGIC, len(meta_bytes).to_bytes(4, "little"), meta_bytes, blob):
+            view[position : position + len(chunk)] = chunk
+            position += len(chunk)
+        self._segments[name] = segment
+        self._owned[name] = True
+
+    def _parts(self, name: str) -> Tuple[str, memoryview, int]:
+        segment = self._segments[name]
+        view = segment.buf
+        if bytes(view[:4]) != _SHM_MAGIC:
+            raise ValueError(f"segment {self._segment_name(name)!r} is not a slab")
+        meta_length = int.from_bytes(bytes(view[4:8]), "little")
+        meta = bytes(view[8 : 8 + meta_length]).decode("utf-8")
+        return meta, view, 8 + meta_length
+
+    def get(self, name):
+        _, view, npz_start = self._parts(name)
+        layout = npz_member_layout(_MemoryFile(view[npz_start:]))
+        arrays: Dict[str, np.ndarray] = {}
+        for member in layout.values():
+            if int(np.prod(member.shape)) == 0:
+                arrays[member.name] = _empty_like(member)
+                continue
+            arrays[member.name] = np.ndarray(
+                member.shape,
+                dtype=member.dtype,
+                buffer=view,
+                offset=npz_start + member.offset,
+                order="F" if member.fortran else "C",
+            )
+        return arrays
+
+    def meta(self, name):
+        return self._parts(name)[0] or None
+
+    def names(self):
+        return sorted(self._segments)
+
+    def close(self, unlink: Optional[bool] = None) -> None:
+        """Unmap all segments; the owner also unlinks them by default."""
+        for name, segment in self._segments.items():
+            should_unlink = self._owned[name] if unlink is None else unlink
+            segment.close()
+            if should_unlink:
+                try:
+                    segment.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+        self._segments.clear()
+        self._owned.clear()
+
+    def stats(self):
+        size = sum(segment.size for segment in self._segments.values())
+        return {"backend": self.backend, "slabs": len(self._segments), "size_bytes": size}
+
+
+def open_slab_store(
+    backend: str, *, directory: Optional[Union[str, Path]] = None
+) -> SlabStore:
+    """Backend factory for the CLI / sharded executor (``--slab-backend``)."""
+    if backend == "heap":
+        return HeapSlabStore()
+    if backend == "mmap":
+        if directory is None:
+            raise ValueError("the mmap slab backend needs a sidecar directory")
+        return MmapSlabStore(directory)
+    if backend == "shm":
+        return ShmSlabStore()
+    raise ValueError(f"unknown slab backend {backend!r} (heap, mmap, shm)")

@@ -276,22 +276,84 @@ class SQLiteStore:
         self._connection.commit()
         return count
 
-    def load_connection_index(self, instance, component_index=None, strict=False):
+    def load_connection_index(
+        self, instance, component_index=None, strict=False, slab_store=None
+    ):
         """A :class:`~repro.core.connection_index.ConnectionIndex` over
         *instance* warmed with every stored slab that still matches the
         instance.  Stale slabs are skipped and rebuild lazily — unless
         *strict*, in which case they raise
         :class:`~repro.core.connection_index.StaleIndexError` (the
         ``Engine.from_store`` default: a silently-cold warm start hides
-        an operational problem)."""
+        an operational problem).
+
+        With *slab_store* (a :class:`~repro.storage.slab_store.SlabStore`,
+        e.g. the :meth:`export_slab_sidecar` output opened as a
+        ``MmapSlabStore``) the arrays are adopted from the store instead
+        of the compressed SQLite blobs — zero-copy for the shm / mmap
+        backends, same fingerprint guards.  Slabs persisted in SQLite
+        but absent from the store still load from their blobs, so a
+        partial sidecar never silently cold-starts a component.
+        """
         from ..core.connection_index import ConnectionIndex
 
         index = ConnectionIndex(instance, component_index)
-        for header, blob in self._connection.execute(
-            "SELECT header, arrays FROM connection_index ORDER BY ident"
+        placed = set()
+        if slab_store is not None:
+            index.adopt_slab_store(slab_store, strict=strict)
+            placed = {
+                int(name.partition("_")[2])
+                for name in slab_store.names()
+                if name.startswith("component_")
+            }
+        for ident, header, blob in self._connection.execute(
+            "SELECT ident, header, arrays FROM connection_index ORDER BY ident"
         ):
+            if int(ident) in placed:
+                continue
             index.adopt_payload(header, bytes(blob), strict=strict)
         return index
+
+    def export_slab_sidecar(self, directory) -> int:
+        """Re-encode every persisted slab as an **uncompressed** npz
+        sidecar under *directory* (a
+        :class:`~repro.storage.slab_store.MmapSlabStore`); returns the
+        number exported.
+
+        The SQLite blobs are ``savez_compressed`` — a DEFLATE stream has
+        no mappable array bytes — so multiprocess serving pays this
+        one-time decompress-and-rewrite, after which every worker maps
+        the same physical pages.  The slab headers (with their content
+        fingerprints) ride along as store metadata, so adoption from the
+        sidecar is guarded exactly like adoption from the blobs.
+        """
+        import io
+
+        import numpy as np
+
+        from .slab_store import MmapSlabStore
+
+        store = MmapSlabStore(directory)
+        existing = set(store.names())
+        count = 0
+        for ident, header, blob in self._connection.execute(
+            "SELECT ident, header, arrays FROM connection_index ORDER BY ident"
+        ):
+            name = f"component_{int(ident)}"
+            if name in existing:
+                if store.meta(name) == header:
+                    count += 1
+                    continue  # same header (same fingerprint): already fresh
+                # Stale sidecar entry: rewrite the whole sidecar once
+                # rather than tombstone single files.
+                for path in store.directory.glob("*.npz"):
+                    path.unlink()
+                (store.directory / MmapSlabStore.MANIFEST).unlink(missing_ok=True)
+                return self.export_slab_sidecar(directory)
+            with np.load(io.BytesIO(bytes(blob))) as arrays:
+                store.put(name, {key: arrays[key] for key in arrays.files}, meta=header)
+            count += 1
+        return count
 
     def connection_index_slab_count(self) -> int:
         """Number of persisted index slabs (0 when never saved)."""

@@ -43,10 +43,14 @@ async def running_server(
     config: Optional[HttpConfig] = None,
     engine_config: Optional[EngineConfig] = None,
     faults: Optional[FaultInjector] = None,
+    shards: int = 1,
+    slab_backend: str = "mmap",
 ):
     """Boot a server (from an engine or a SQLite store) and always tear
     it down through :meth:`HttpServer.drain` — releasing any armed
-    kernel gate first, so a failing test cannot wedge the executor."""
+    kernel gate first, so a failing test cannot wedge the executor.
+    ``shards > 1`` (store mode) boots the process-parallel sharded
+    executor behind the same server."""
     faults = faults if faults is not None else FaultInjector()
     config = config if config is not None else HttpConfig(port=0)
     if store is not None:
@@ -56,6 +60,8 @@ async def running_server(
             config=config,
             stale_slabs=stale_slabs,
             faults=faults,
+            shards=shards,
+            slab_backend=slab_backend,
         )
     else:
         server = HttpServer(engine, config=config, faults=faults)

@@ -1,0 +1,345 @@
+"""The process-parallel sharded executor (``repro.engine.sharded``).
+
+Contracts under test:
+
+* **bit-identity** — every entry point (``search``, ``search_many``,
+  ``asearch``) answers exactly what the single-process :class:`Engine`
+  answers, on the paper fixtures and across the 50-random-instance
+  sweep, regardless of slab placement backend;
+* **routing** — whole queries route by a stable hash of
+  ``(seeker, keywords)``: deterministic across processes and runs,
+  independent of execution settings, and batches gather in input order;
+* **failure containment** — a worker that dies mid-request fails only
+  its in-flight queries with :class:`ShardUnavailableError` (shaped as
+  a structured 503) and is respawned from the router's warm image; the
+  respawned worker answers bit-identically;
+* **fingerprint guards** — a placed slab sidecar that no longer matches
+  the instance raises :class:`StaleIndexError` **before any worker
+  forks** under ``stale_slabs="error"``, and ``"rebuild"`` recovers
+  with correct answers;
+* **stats** — per-shard breakdowns plus a merged rollup, rendered by
+  :func:`format_engine_stats`.
+
+No scenario sleeps: synchronization is the pipe round-trip itself, the
+armed crash hook, and ``wait_for_respawn``'s generation watch.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core import ConnectionIndex, S3kSearch
+from repro.engine import Engine, EngineConfig, ShardedEngine, StaleIndexError
+from repro.engine.errors import ShardUnavailableError, classify_error
+from repro.engine.request import QueryRequest
+from repro.engine.sharded import route_shard
+from repro.eval import format_engine_stats
+from repro.rdf import URI
+from repro.social import Tag
+from repro.storage import SQLiteStore
+
+from .fixtures import figure1_instance, two_community_instance
+from .instance_gen import VOCABULARY, random_instance
+
+#: Randomized instances checked for sharded/single-process agreement
+#: (the same sweep size as the batched-execution acceptance).
+N_RANDOM_INSTANCES = 50
+
+QUERIES = [
+    ("u1", ["degre"], 3),
+    ("u0", ["campus"], 2),
+    ("u1", ["opinion", "debate"], 5),
+    ("u4", ["ualberta"], 1),
+    ("u0", ["debate"], 5),
+]
+
+
+def _ranked(response):
+    """The full ranked payload — URIs and both interval bounds — so the
+    comparison is bit-level, not just ordering."""
+    result = response.result
+    return (
+        [(r.uri, r.lower, r.upper) for r in result.results],
+        result.iterations,
+        result.terminated_by,
+    )
+
+
+@pytest.fixture(scope="module")
+def sharded():
+    engine = ShardedEngine(figure1_instance(), shards=2)
+    yield engine
+    engine.close()
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return Engine(figure1_instance())
+
+
+class TestRouting:
+    def test_stable_and_settings_independent(self):
+        base = QueryRequest(seeker=URI("u1"), keywords=(URI("degre"),), k=3)
+        other = QueryRequest(
+            seeker=URI("u1"), keywords=(URI("degre"),), k=5, time_budget=0.5
+        )
+        assert route_shard(base, 4) == route_shard(other, 4)
+        assert route_shard(base, 4) == route_shard(base, 4)
+
+    def test_distributes_across_shards(self):
+        requests = [
+            QueryRequest(seeker=URI(f"u{i}"), keywords=(URI(word),), k=1)
+            for i in range(8)
+            for word in VOCABULARY
+        ]
+        hit = {route_shard(request, 4) for request in requests}
+        assert hit == {0, 1, 2, 3}
+
+    def test_single_shard_works(self):
+        engine = ShardedEngine(figure1_instance(), shards=1)
+        try:
+            assert engine.search(("u1", ["degre"])).result.results
+        finally:
+            engine.close()
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError, match="shards must be"):
+            ShardedEngine(figure1_instance(), shards=0)
+
+
+class TestBitIdentity:
+    def test_search_matches_engine(self, sharded, reference):
+        for seeker, keywords, k in QUERIES:
+            assert _ranked(sharded.search(seeker, keywords, k=k)) == _ranked(
+                reference.search(seeker, keywords, k=k)
+            )
+
+    def test_search_many_gathers_in_input_order(self, sharded, reference):
+        batch = [(s, kw) for s, kw, _ in QUERIES]
+        got = sharded.search_many(batch, k=4)
+        want = reference.search_many(batch, k=4)
+        assert [r.request for r in got] == [r.request for r in want]
+        for g, w in zip(got, want):
+            assert _ranked(g) == _ranked(w)
+
+    def test_asearch_matches_sync(self, sharded):
+        async def go():
+            return await asyncio.gather(
+                *[sharded.asearch((s, kw), k=k) for s, kw, k in QUERIES]
+            )
+
+        for concurrent, (seeker, keywords, k) in zip(asyncio.run(go()), QUERIES):
+            assert _ranked(concurrent) == _ranked(
+                sharded.search(seeker, keywords, k=k)
+            )
+
+    def test_two_communities(self):
+        engine = ShardedEngine(two_community_instance(), shards=2)
+        reference = Engine(two_community_instance())
+        try:
+            for i in range(6):
+                query = (f"u{i}", ["python"], 2)
+                assert _ranked(engine.search(*query[:2], k=2)) == _ranked(
+                    reference.search(*query[:2], k=2)
+                )
+        finally:
+            engine.close()
+
+
+class TestRandomizedSweep:
+    @pytest.mark.parametrize("seed", range(N_RANDOM_INSTANCES))
+    def test_sharded_matches_single_process(self, seed):
+        rng = random.Random(seed)
+        instance = random_instance(rng)
+        reference = Engine(instance, config=EngineConfig(result_cache_size=0))
+        sharded = ShardedEngine(random_instance(random.Random(seed)), shards=2)
+        try:
+            seekers = sorted(instance.users)
+            queries = [
+                (
+                    rng.choice(seekers),
+                    rng.sample(VOCABULARY, rng.randint(1, 2)),
+                    rng.choice([1, 3, 5]),
+                )
+                for _ in range(3)
+            ]
+            batch = sharded.search_many([(s, kw, k) for s, kw, k in queries])
+            for (seeker, keywords, k), response in zip(queries, batch):
+                assert _ranked(response) == _ranked(
+                    reference.search(seeker, keywords, k=k)
+                ), (seed, seeker, keywords, k)
+        finally:
+            sharded.close()
+
+
+class TestFailureContainment:
+    def test_worker_crash_fails_inflight_with_structured_503(self):
+        engine = ShardedEngine(figure1_instance(), shards=2)
+        try:
+            query = ("u1", ["degre"])
+            target = engine.shard_of(engine._coerce(query))
+            generation = engine._shards[target].generation
+            first_pid = engine._shards[target].process.pid
+            engine.crash_worker(target)
+            with pytest.raises(ShardUnavailableError) as failure:
+                engine.search(query)
+            assert classify_error(failure.value) == (503, "shard_unavailable")
+            # The replacement is a genuinely new process, forked from the
+            # router's warm image (no store reload, no index rebuild).
+            engine.wait_for_respawn(target, generation)
+            assert engine._shards[target].process.pid != first_pid
+            after = engine.search(query)
+            assert _ranked(after) == _ranked(
+                Engine(figure1_instance()).search(query)
+            )
+            stats = engine.stats()
+            assert stats["router"]["worker_respawns"] == 1
+            assert stats[f"shard_{target}"]["respawns"] == 1
+            assert stats[f"shard_{target}"]["errors"] == 1
+        finally:
+            engine.close()
+
+    def test_crash_spares_other_shards(self):
+        engine = ShardedEngine(figure1_instance(), shards=2)
+        try:
+            query = ("u1", ["degre"])
+            target = engine.shard_of(engine._coerce(query))
+            other_query = next(
+                q
+                for q in (("u0", ["campus"]), ("u4", ["ualberta"]), ("u0", ["debate"]))
+                if engine.shard_of(engine._coerce(q)) != target
+            )
+            engine.crash_worker(target)
+            with pytest.raises(ShardUnavailableError):
+                engine.search(query)
+            # The sibling shard never noticed.
+            assert engine.search(other_query).result is not None
+            assert engine.stats()[f"shard_{engine.shard_of(engine._coerce(other_query))}"]["errors"] == 0
+        finally:
+            engine.close()
+
+    def test_close_is_idempotent_and_final(self):
+        engine = ShardedEngine(figure1_instance(), shards=2)
+        engine.search(("u1", ["degre"]))
+        engine.close()
+        engine.close()
+        with pytest.raises(ShardUnavailableError, match="stopped"):
+            engine.search(("u1", ["degre"]))
+
+
+class TestFingerprintGuards:
+    @staticmethod
+    def _stale_store(tmp_path):
+        """Persist slabs, then mutate the instance so they are stale."""
+        path = tmp_path / "stale.db"
+        instance = figure1_instance()
+        with SQLiteStore(path) as store:
+            store.save_instance(instance)
+            store.save_connection_index(ConnectionIndex(instance).ensure_all())
+            instance.add_tag(
+                Tag(URI("t:late"), URI("d0.5.1"), URI("u2"), keyword="campus")
+            )
+            instance.saturate()
+            store.save_instance(instance)
+        return path
+
+    def test_mismatch_raises_before_any_fork(self, tmp_path):
+        path = self._stale_store(tmp_path)
+        with pytest.raises(StaleIndexError):
+            ShardedEngine.from_store(path, shards=2)
+        # The guard fired in the router, pre-fork: no sidecar-backed
+        # worker ever served from the stale arrays.
+
+    def test_rebuild_opt_in_recovers(self, tmp_path):
+        path = self._stale_store(tmp_path)
+        engine = ShardedEngine.from_store(path, shards=2, stale_slabs="rebuild")
+        try:
+            response = engine.search(("u1", ["campus"]), k=5)
+            reference = S3kSearch(engine.instance).search("u1", ["campus"], k=5)
+            assert [r.uri for r in response.result.results] == [
+                r.uri for r in reference.results
+            ]
+        finally:
+            engine.close()
+
+
+class TestPlacementBackends:
+    @staticmethod
+    def _indexed_store(tmp_path):
+        path = tmp_path / "indexed.db"
+        instance = figure1_instance()
+        with SQLiteStore(path) as store:
+            store.save_instance(instance)
+            store.save_connection_index(ConnectionIndex(instance).ensure_all())
+        return path
+
+    @pytest.mark.parametrize("backend", ("mmap", "shm", "heap"))
+    def test_backends_are_bit_identical(self, tmp_path, backend):
+        path = self._indexed_store(tmp_path)
+        reference = Engine.from_store(path)
+        engine = ShardedEngine.from_store(path, shards=2, slab_backend=backend)
+        try:
+            for seeker, keywords, k in QUERIES:
+                assert _ranked(engine.search(seeker, keywords, k=k)) == _ranked(
+                    reference.search(seeker, keywords, k=k)
+                )
+            router = engine.stats()["router"]
+            if backend == "heap":
+                assert router["slab_backend"] == "heap-cow"
+            else:
+                assert router["slab_backend"] == backend
+                assert router["slabs_placed"] > 0
+        finally:
+            engine.close()
+
+    def test_mmap_sidecar_lands_next_to_the_db(self, tmp_path):
+        path = self._indexed_store(tmp_path)
+        engine = ShardedEngine.from_store(path, shards=2)
+        try:
+            sidecar = tmp_path / "indexed.db.slabs"
+            assert sidecar.is_dir()
+            assert any(entry.suffix == ".npz" for entry in sidecar.iterdir())
+        finally:
+            engine.close()
+
+
+class TestStats:
+    def test_sections_rollup_and_rendering(self, sharded):
+        for seeker, keywords, k in QUERIES:
+            sharded.search(seeker, keywords, k=k)
+        stats = sharded.stats()
+        for section in ("engine", "router", "result_cache", "connection_index",
+                        "batcher", "shard_0", "shard_1"):
+            assert section in stats, section
+        assert stats["router"]["shards"] == 2
+        assert stats["router"]["alive_shards"] == 2
+        assert (
+            stats["router"]["answered"]
+            == stats["shard_0"]["answered"] + stats["shard_1"]["answered"]
+        )
+        # The rollup sums the live workers' counters.
+        assert stats["engine"]["queries_served"] >= len(QUERIES)
+        assert (
+            stats["result_cache"]["hits"]
+            == stats["shard_0"]["cache_hits"] + stats["shard_1"]["cache_hits"]
+        )
+        for index in (0, 1):
+            section = stats[f"shard_{index}"]
+            assert section["alive"] is True
+            assert section["pid"] > 0
+            assert section["inflight"] == 0
+            assert "qps" in section
+        rendered = format_engine_stats(stats)
+        assert "shard_0" in rendered and "router" in rendered
+        assert "queries_routed" in rendered
+
+    def test_connection_index_counted_once_not_per_shard(self, sharded):
+        """The slabs are physically shared; summing N worker views would
+        report N copies of one index."""
+        stats = sharded.stats()
+        single = Engine(figure1_instance()).warm().stats()
+        assert (
+            stats["connection_index"]["components_built"]
+            == single["connection_index"]["components_built"]
+        )

@@ -1,0 +1,170 @@
+"""The :class:`SlabStore` placement protocol and its three backends.
+
+Contracts under test:
+
+* **round-trip fidelity** — every backend returns arrays equal to what
+  was put, across the dtypes the ConnectionIndex slabs actually use
+  (int8 / int32 / intp / 2-D bool), including Fortran-ordered and
+  zero-length members, with the caller's metadata string intact;
+* **zero-copy placement** — the mmap backend hands back read-only
+  ``np.memmap`` views over the sidecar files (not heap copies), and a
+  reopened store over the same directory serves the same bundles; the
+  shm backend supports cross-handle ``attach`` by segment prefix;
+* **immutability** — slabs are write-once per name; the uncompressed
+  npz member parser refuses compressed archives outright (a compressed
+  member cannot be mapped, only inflated — silently copying would
+  defeat the whole point of placement).
+"""
+
+import numpy as np
+import pytest
+
+from repro.storage import (
+    HeapSlabStore,
+    MmapSlabStore,
+    ShmSlabStore,
+    open_slab_store,
+)
+from repro.storage.slab_store import npz_member_layout
+
+
+def _bundle():
+    """Arrays shaped like a ConnectionIndex component slab."""
+    return {
+        "pair_types": np.array([0, 1, 1, 2], dtype=np.int8),
+        "atom_ptr": np.array([0, 2, 4], dtype=np.intp),
+        "ev_node": np.array([3, 1, 4, 1], dtype=np.int32),
+        "coverage": np.asfortranarray(
+            np.array([[True, False], [False, True]], dtype=bool)
+        ),
+        "empty": np.array([], dtype=np.int32),
+    }
+
+
+def _store_for(backend, tmp_path):
+    return open_slab_store(backend, directory=tmp_path / "slabs")
+
+
+BACKENDS = ("heap", "mmap", "shm")
+
+
+@pytest.fixture(params=BACKENDS)
+def store(request, tmp_path):
+    store = _store_for(request.param, tmp_path)
+    yield store
+    store.close()
+
+
+class TestRoundTrip:
+    def test_arrays_and_meta_survive(self, store):
+        bundle = _bundle()
+        store.put("component_0", bundle, meta='{"ident": 0}')
+        back = store.get("component_0")
+        assert set(back) == set(bundle)
+        for name, array in bundle.items():
+            np.testing.assert_array_equal(back[name], array)
+            assert back[name].dtype == array.dtype
+        assert store.meta("component_0") == '{"ident": 0}'
+        assert "component_0" in store
+        assert store.names() == ["component_0"]
+
+    def test_fortran_order_preserved(self, store):
+        store.put("f", {"coverage": _bundle()["coverage"]})
+        back = store.get("f")["coverage"]
+        assert back.flags["F_CONTIGUOUS"]
+        np.testing.assert_array_equal(back, _bundle()["coverage"])
+
+    def test_write_once_per_name(self, store):
+        store.put("once", {"a": np.arange(3)})
+        with pytest.raises(ValueError, match="already stored"):
+            store.put("once", {"a": np.arange(3)})
+
+    def test_unknown_name_raises(self, store):
+        with pytest.raises(KeyError):
+            store.get("nope")
+
+    def test_stats_report_backend_and_count(self, store):
+        store.put("one", {"a": np.arange(4)})
+        stats = store.stats()
+        assert stats["slabs"] == 1
+        assert stats["backend"] in BACKENDS
+
+
+class TestMmapBacked:
+    def test_views_are_readonly_memmaps(self, tmp_path):
+        store = MmapSlabStore(tmp_path / "slabs")
+        store.put("c", {"ev_node": np.arange(16, dtype=np.int32)})
+        view = store.get("c")["ev_node"]
+        assert isinstance(view, np.memmap)
+        assert not view.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            view[0] = 7
+
+    def test_reopen_serves_same_bundles(self, tmp_path):
+        directory = tmp_path / "slabs"
+        first = MmapSlabStore(directory)
+        bundle = _bundle()
+        first.put("component_3", bundle, meta="header")
+        first.close()
+        reopened = MmapSlabStore(directory)
+        assert reopened.names() == ["component_3"]
+        assert reopened.meta("component_3") == "header"
+        for name, array in bundle.items():
+            np.testing.assert_array_equal(reopened.get("component_3")[name], array)
+
+    def test_compressed_npz_is_refused(self, tmp_path):
+        path = tmp_path / "z.npz"
+        np.savez_compressed(path, a=np.arange(1000))
+        with open(path, "rb") as handle:
+            with pytest.raises(ValueError, match="compressed"):
+                npz_member_layout(handle)
+
+    def test_layout_matches_numpy_load(self, tmp_path):
+        path = tmp_path / "plain.npz"
+        np.savez(path, **_bundle())
+        with open(path, "rb") as handle:
+            layout = npz_member_layout(handle)
+        for name, array in _bundle().items():
+            member = layout[name]
+            assert member.dtype == array.dtype
+            assert member.shape == array.shape
+
+
+class TestShmBacked:
+    def test_attach_by_prefix(self, tmp_path):
+        owner = ShmSlabStore()
+        bundle = _bundle()
+        owner.put("component_1", bundle, meta="m")
+        attached = ShmSlabStore.attach(owner.prefix, ["component_1"])
+        try:
+            for name, array in bundle.items():
+                np.testing.assert_array_equal(
+                    attached.get("component_1")[name], array
+                )
+            assert attached.meta("component_1") == "m"
+        finally:
+            attached.close(unlink=False)
+            owner.close()
+
+    def test_owner_close_unlinks(self):
+        owner = ShmSlabStore()
+        owner.put("c", {"a": np.arange(8)})
+        prefix = owner.prefix
+        owner.close()
+        with pytest.raises((FileNotFoundError, KeyError)):
+            ShmSlabStore.attach(prefix, ["c"])
+
+
+class TestFactory:
+    def test_mmap_requires_directory(self):
+        with pytest.raises(ValueError, match="sidecar directory"):
+            open_slab_store("mmap")
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown slab backend"):
+            open_slab_store("tape")
+
+    def test_heap_is_default_reference(self):
+        store = open_slab_store("heap")
+        assert isinstance(store, HeapSlabStore)
+        store.close()

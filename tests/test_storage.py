@@ -107,3 +107,94 @@ class TestQueryEquivalence:
         assert set(before) == set(after)
         for uri, value in before.items():
             assert after[uri] == pytest.approx(value)
+
+
+class TestSlabSidecar:
+    """``export_slab_sidecar``: the uncompressed, mmap'able re-encoding
+    of the persisted ConnectionIndex slabs (what sharded serving maps)."""
+
+    @staticmethod
+    def _indexed_store(tmp_path):
+        from repro.core import ConnectionIndex
+
+        path = tmp_path / "indexed.db"
+        instance = figure1_instance()
+        store = SQLiteStore(path)
+        store.save_instance(instance)
+        store.save_connection_index(ConnectionIndex(instance).ensure_all())
+        return store, instance
+
+    def test_export_then_mmap_load_is_equivalent(self, tmp_path):
+        import numpy as np
+
+        from repro.storage import MmapSlabStore
+
+        store, instance = self._indexed_store(tmp_path)
+        with store:
+            exported = store.export_slab_sidecar(tmp_path / "slabs")
+            assert exported == store.connection_index_slab_count() > 0
+            sidecar = MmapSlabStore(tmp_path / "slabs")
+            via_sidecar = store.load_connection_index(
+                instance, strict=True, slab_store=sidecar
+            )
+            via_blobs = store.load_connection_index(instance, strict=True)
+        # Same components adopted, and the sidecar path serves the same
+        # evidence through mmap-backed arrays (zero deserialization).
+        assert via_sidecar.stats() == via_blobs.stats()
+        slab = next(iter(via_sidecar._slabs.values()))
+        assert isinstance(slab.ev_node, np.memmap)
+        assert S3kSearch(instance, connection_index=via_sidecar).search(
+            "u1", ["degre"], k=3
+        ).results == S3kSearch(instance, connection_index=via_blobs).search(
+            "u1", ["degre"], k=3
+        ).results
+
+    def test_export_is_idempotent(self, tmp_path):
+        store, _ = self._indexed_store(tmp_path)
+        with store:
+            first = store.export_slab_sidecar(tmp_path / "slabs")
+            manifest = (tmp_path / "slabs" / "manifest.json").read_text()
+            second = store.export_slab_sidecar(tmp_path / "slabs")
+        assert first == second
+        assert (tmp_path / "slabs" / "manifest.json").read_text() == manifest
+
+    def test_stale_sidecar_is_rewritten_on_reindex(self, tmp_path):
+        from repro.core import ConnectionIndex
+        from repro.social import Tag
+
+        store, instance = self._indexed_store(tmp_path)
+        with store:
+            store.export_slab_sidecar(tmp_path / "slabs")
+            instance.add_tag(
+                Tag(URI("t:late"), URI("d0.5.1"), URI("u2"), keyword="campus")
+            )
+            instance.saturate()
+            store.save_instance(instance)
+            store.save_connection_index(ConnectionIndex(instance).ensure_all())
+            refreshed = store.export_slab_sidecar(tmp_path / "slabs")
+            assert refreshed == store.connection_index_slab_count()
+            # The refreshed sidecar adopts strictly against the mutated
+            # instance — the old fingerprints are gone with the old files.
+            from repro.storage import MmapSlabStore
+
+            index = store.load_connection_index(
+                store.load_instance(),
+                strict=True,
+                slab_store=MmapSlabStore(tmp_path / "slabs"),
+            )
+        assert index.stats()["components_built"] > 0
+
+    def test_partial_sidecar_falls_back_to_blobs(self, tmp_path):
+        from repro.storage import MmapSlabStore
+
+        store, instance = self._indexed_store(tmp_path)
+        with store:
+            empty_sidecar = MmapSlabStore(tmp_path / "empty")
+            index = store.load_connection_index(
+                instance, strict=True, slab_store=empty_sidecar
+            )
+            # Nothing placed, everything still warm from the SQLite blobs.
+            assert (
+                index.stats()["components_built"]
+                == store.connection_index_slab_count()
+            )
