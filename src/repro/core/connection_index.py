@@ -79,6 +79,20 @@ class StaleIndexError(RuntimeError):
     """
 
 
+def _readonly_array(array: np.ndarray) -> np.ndarray:
+    """A non-writeable view of *array* (zero-copy).
+
+    Adopted slab arrays may be shm segments or mmap'd sidecar pages that
+    every forked worker shares; freezing them on adoption turns an
+    accidental in-place write into an immediate ``ValueError`` instead
+    of silent cross-shard corruption.
+    """
+    if array.flags.writeable:
+        array = array.view()
+        array.flags.writeable = False
+    return array
+
+
 def _encode_term(term: Term) -> List[str]:
     return ["u" if isinstance(term, URI) else "l", str(term)]
 
@@ -278,7 +292,7 @@ class _ComponentSlab:
         slab.node_of = {u: i for i, u in enumerate(slab.node_uris)}
         slab.pair_sources = [URI(u) for u in meta["pair_sources"]]
         for name in cls.ARRAY_FIELDS:
-            setattr(slab, name, arrays[name])
+            setattr(slab, name, _readonly_array(arrays[name]))
         return slab
 
     @classmethod

@@ -196,6 +196,9 @@ class _Shard:
         self._engine = engine
         self._max_batch = max_batch
         self._lock = threading.Lock()
+        #: signalled under ``_lock`` whenever a (re)spawn installs a new
+        #: worker; ``wait_for_respawn`` blocks on it instead of polling.
+        self._spawned = threading.Condition(self._lock)
         self._request_ids = itertools.count()
         self._pending: Dict[int, Future] = {}
         self._closed = False
@@ -232,6 +235,7 @@ class _Shard:
             daemon=True,
         )
         reader.start()
+        self._spawned.notify_all()
 
     def _read_loop(self, conn, generation: int) -> None:
         try:
@@ -668,14 +672,16 @@ class ShardedEngine:
 
     def wait_for_respawn(self, shard_index: int, generation: int, timeout=30.0):
         """Block until shard *shard_index* is past *generation* and its
-        replacement process is alive (no sleeps in tests)."""
+        replacement process is alive (no sleeps in tests): a condition
+        wait on the shard's spawn signal, not a polling loop."""
         shard = self._shards[shard_index]
-        deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
-            if shard.generation > generation and shard.alive:
-                return
-            time.sleep(0.001)
-        raise TimeoutError(f"shard {shard_index} did not respawn")
+        with shard._lock:
+            respawned = shard._spawned.wait_for(
+                lambda: shard.generation > generation and shard.alive,
+                timeout=timeout,
+            )
+        if not respawned:
+            raise TimeoutError(f"shard {shard_index} did not respawn")
 
     # ------------------------------------------------------------------
     # Stats

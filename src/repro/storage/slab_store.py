@@ -137,7 +137,23 @@ class _MemoryFile:
 
 def _empty_like(member: _MemberLayout) -> np.ndarray:
     order = "F" if member.fortran else "C"
-    return np.zeros(member.shape, dtype=member.dtype, order=order)
+    return _readonly_view(np.zeros(member.shape, dtype=member.dtype, order=order))
+
+
+def _readonly_view(array: np.ndarray) -> np.ndarray:
+    """A non-writeable view of *array* (zero-copy).
+
+    Every array a :class:`SlabStore` serves is shared — across forked
+    workers for the shm / mmap backends, across all in-process readers
+    for the heap backend — so ``get`` hands out views that *cannot* be
+    written: an accidental in-place mutation raises instead of silently
+    corrupting every shard's answers.  The stored original is left
+    untouched (the flag is flipped on a fresh view).
+    """
+    if array.flags.writeable:
+        array = array.view()
+        array.flags.writeable = False
+    return array
 
 
 # ----------------------------------------------------------------------
@@ -205,7 +221,10 @@ class HeapSlabStore(SlabStore):
         self._meta[name] = meta
 
     def get(self, name):
-        return dict(self._arrays[name])
+        return {
+            key: _readonly_view(array)
+            for key, array in self._arrays[name].items()
+        }
 
     def meta(self, name):
         return self._meta[name]
@@ -273,13 +292,15 @@ class MmapSlabStore(SlabStore):
                 # no bytes to share anyway.
                 mapped[member.name] = _empty_like(member)
                 continue
-            mapped[member.name] = np.memmap(
-                path,
-                dtype=member.dtype,
-                mode="r",
-                offset=member.offset,
-                shape=member.shape,
-                order="F" if member.fortran else "C",
+            mapped[member.name] = _readonly_view(
+                np.memmap(
+                    path,
+                    dtype=member.dtype,
+                    mode="r",
+                    offset=member.offset,
+                    shape=member.shape,
+                    order="F" if member.fortran else "C",
+                )
             )
         return mapped
 
@@ -372,12 +393,14 @@ class ShmSlabStore(SlabStore):
             if int(np.prod(member.shape)) == 0:
                 arrays[member.name] = _empty_like(member)
                 continue
-            arrays[member.name] = np.ndarray(
-                member.shape,
-                dtype=member.dtype,
-                buffer=view,
-                offset=npz_start + member.offset,
-                order="F" if member.fortran else "C",
+            arrays[member.name] = _readonly_view(
+                np.ndarray(
+                    member.shape,
+                    dtype=member.dtype,
+                    buffer=view,
+                    offset=npz_start + member.offset,
+                    order="F" if member.fortran else "C",
+                )
             )
         return arrays
 

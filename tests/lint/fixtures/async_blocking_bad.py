@@ -1,0 +1,46 @@
+"""Deliberate async-blocking violations (never imported)."""
+
+import sqlite3
+import subprocess
+import time
+from socket import create_connection
+from time import sleep as nap
+
+
+async def sleeps_on_the_loop(request):
+    time.sleep(0.1)  # BAD: blocks every in-flight request
+    return request
+
+
+async def sleeps_through_an_alias(request):
+    nap(0.1)  # BAD: from time import sleep as nap
+    return request
+
+
+async def opens_a_database(path):
+    connection = sqlite3.connect(path)  # BAD: sync I/O on the loop
+    return connection
+
+
+async def dials_out(host):
+    return create_connection((host, 80))  # BAD: blocking socket op
+
+
+async def reads_a_file(path):
+    with open(path) as handle:  # BAD: synchronous file I/O
+        return handle.read()
+
+
+async def shells_out(command):
+    return subprocess.run(command)  # BAD: blocks until the child exits
+
+
+def naps_in_sync_code(delay):
+    time.sleep(delay)  # BAD: the serving tier never naps, sync or async
+
+
+def polls_a_deadline(shard, deadline):
+    while time.monotonic() < deadline:  # BAD: clock-polling busy-wait
+        if shard.alive:
+            return True
+    return False

@@ -1,0 +1,34 @@
+"""Legal spellings the async-blocking rule must not flag."""
+
+import asyncio
+import time
+
+
+async def yields_to_the_loop(request):
+    await asyncio.sleep(0)  # asyncio.sleep is awaited, not blocking
+    return request
+
+
+async def runs_kernel_in_executor(loop, engine, requests):
+    return await loop.run_in_executor(None, engine.search_many, requests)
+
+
+async def waits_with_timeout(event):
+    await asyncio.wait_for(event.wait(), timeout=1.0)
+
+
+def measures_latency(started):
+    return time.perf_counter() - started  # reading a clock is fine
+
+
+def loops_without_clock(queue):
+    while queue:
+        queue.pop()
+
+
+async def closure_shipped_to_executor(loop, path):
+    def blocking_read():  # nested sync def: executed off-loop below
+        with open(path) as handle:
+            return handle.read()
+
+    return await loop.run_in_executor(None, blocking_read)

@@ -1,0 +1,39 @@
+"""Legal spellings the determinism rule must not flag."""
+
+import random
+import time
+
+import numpy as np
+
+
+def uses_a_seeded_instance(seed, candidates):
+    rng = random.Random(seed)  # explicit seed: replayable
+    return rng.choice(candidates)
+
+
+def uses_a_seeded_generator(seed, n):
+    return np.random.default_rng(seed).random(n)  # seeded generator
+
+
+class S3kSearch:
+    def _prepare_query(self, seeker, keywords):
+        started = time.perf_counter()  # sanctioned anytime-budget hook
+        return seeker, keywords, started
+
+    def _check_stop(self, state):
+        return (
+            state.time_budget is not None
+            and time.perf_counter() - state.started > state.time_budget
+        )
+
+
+class ConnectionIndex:
+    def slab(self, ident):
+        started = time.perf_counter()  # sanctioned build-cost counter
+        built = object()
+        self.build_seconds = time.perf_counter() - started
+        return built
+
+
+def instance_rng_calls_are_fine(rng, items):
+    return rng.sample(items, 2)  # method on a passed-in seeded instance

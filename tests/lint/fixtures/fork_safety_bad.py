@@ -1,0 +1,34 @@
+"""Deliberate fork-safety violations (never imported).
+
+The class/function names mirror ``repro.engine.sharded`` because the
+rule targets qualified names on the pre-fork path.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+_WARM_LOCK = threading.Lock()
+_WARM_LOCK.acquire()  # BAD: module import level runs before any fork
+
+
+class ShardedEngine:
+    def __init__(self, engine, shards):
+        self._pool = ThreadPoolExecutor(max_workers=4)  # BAD: pre-fork
+        self._lock = threading.Lock()
+        with self._lock:  # BAD: lock held while workers fork below
+            self._shards = [object() for _ in range(shards)]
+
+    @classmethod
+    def from_store(cls, store):
+        loader = threading.Thread(target=store.load_instance)  # BAD
+        loader.start()
+        return cls(None, 2)
+
+    def _place_slabs(self, store):
+        self._placement_lock.acquire()  # BAD: acquisition pre-fork
+        return 0
+
+
+def _worker_loop(conn, engine, worker_index, max_batch):
+    helper = threading.Thread(target=conn.recv)  # BAD: worker threads
+    helper.start()

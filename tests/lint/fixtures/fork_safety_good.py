@@ -1,0 +1,46 @@
+"""Legal spellings the fork-safety rule must not flag."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class ShardedEngine:
+    def __init__(self, engine, shards):
+        # Creating an unheld lock object is fine; acquiring it is not.
+        self._close_lock = threading.Lock()
+        self._hook_pool = None
+        self._shards = list(range(shards))
+
+    def _ensure_hook_pool(self):
+        # Lazy post-fork creation: runs on the first async request,
+        # long after the workers exist.
+        if self._hook_pool is None:
+            self._hook_pool = ThreadPoolExecutor(max_workers=8)
+        return self._hook_pool
+
+    def close(self):
+        with self._close_lock:  # post-fork teardown path
+            self._shards = []
+
+
+class _Shard:
+    def _start_locked(self, context):
+        # The reader thread starts after this shard's fork completed;
+        # _Shard is not on the rule's pre-fork list.
+        reader = threading.Thread(target=self._read_loop, daemon=True)
+        reader.start()
+
+    def _read_loop(self):
+        pass
+
+
+def _worker_loop(conn, engine, worker_index, max_batch):
+    # The child drops inherited serving plumbing and stays
+    # single-threaded: drain the pipe, answer via the engine.
+    engine._executor = None
+    while True:
+        try:
+            batch = [conn.recv()]
+        except (EOFError, OSError):
+            break
+        engine.search_many(batch)

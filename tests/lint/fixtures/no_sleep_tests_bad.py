@@ -1,0 +1,29 @@
+"""Deliberate no-sleep-tests violations (never imported)."""
+
+import time
+from time import sleep
+
+
+def test_waits_for_the_server_to_boot(server):
+    server.start()
+    time.sleep(0.2)  # BAD: racy on loaded CI, dead time everywhere else
+    assert server.alive
+
+
+def test_sleeps_through_an_alias(worker):
+    sleep(0.05)  # BAD: from time import sleep
+    assert worker.done
+
+
+def test_polls_a_deadline(shard):
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:  # BAD: a nap in a trench coat
+        if shard.respawned:
+            break
+    assert shard.respawned
+
+
+def test_polls_wall_clock(queue):
+    end = time.time() + 1.0
+    while time.time() < end:  # BAD: wall-clock polling loop
+        queue.drain()

@@ -1,0 +1,40 @@
+"""Legal spellings the slab-mutation rule must not flag."""
+
+import numpy as np
+
+
+def reads_a_mapped_slab(slab_store, name):
+    arrays = slab_store.get(name)
+    return arrays["ev_node"][0]  # reading shared slabs is the point
+
+
+def copies_before_mutating(slab_store, name):
+    arrays = slab_store.get(name)
+    mine = arrays["atom_ptr"].copy()  # a copy breaks the sharing
+    mine += 1
+    return mine
+
+
+def sorts_a_copy(slab_store, name):
+    return np.sort(slab_store.get(name)["ev_pair"])  # copying variant
+
+
+def mutates_a_private_array(n):
+    scratch = np.zeros(n, dtype=np.int32)
+    scratch[0] = 1  # freshly allocated, not store-adopted
+    scratch += 1
+    scratch.sort()
+    return scratch
+
+
+def builds_coverage_in_place(n_nodes, n_atoms, mask):
+    has_evidence = np.zeros((n_nodes, n_atoms), dtype=bool)
+    has_evidence[0] |= mask  # the offline build owns its arrays
+    return has_evidence
+
+
+def plain_dict_get_is_not_a_store(counters, key):
+    bucket = counters.get(key)
+    if bucket is not None:
+        bucket[0] = 1  # a dict named 'counters' is not a slab store
+    return bucket

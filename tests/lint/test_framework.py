@@ -1,0 +1,276 @@
+"""Framework tests: suppressions, import resolution, scoping, CLI.
+
+These exercise the linter's plumbing — the parts every rule leans on —
+independent of any particular invariant.
+"""
+
+import ast
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from tools.repro_lint import (
+    Finding,
+    default_config,
+    format_findings,
+    lint_file,
+    lint_paths,
+)
+from tools.repro_lint.base import ImportMap, dotted_name, walk_functions
+from tools.repro_lint.config import RuleScope, path_matches
+from tools.repro_lint.suppressions import parse_suppressions
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestSuppressions:
+    def test_trailing_comment_suppresses_its_line(self):
+        source = "import time\ntime.sleep(1)  # repro-lint: disable=no-sleep-tests\n"
+        suppressions = parse_suppressions(source)
+        assert suppressions.suppressed("no-sleep-tests", 2)
+        assert not suppressions.suppressed("no-sleep-tests", 1)
+
+    def test_own_line_comment_covers_the_following_line(self):
+        source = textwrap.dedent(
+            """\
+            import time
+            # repro-lint: disable=determinism
+            stamp = time.time()
+            """
+        )
+        suppressions = parse_suppressions(source)
+        assert suppressions.suppressed("determinism", 2)
+        assert suppressions.suppressed("determinism", 3)
+        assert not suppressions.suppressed("determinism", 4)
+
+    def test_disable_file_covers_everything(self):
+        source = "# repro-lint: disable-file=fork-safety\nx = 1\n"
+        suppressions = parse_suppressions(source)
+        assert suppressions.suppressed("fork-safety", 40)
+        assert not suppressions.suppressed("determinism", 40)
+
+    def test_all_keyword_and_comma_lists(self):
+        source = textwrap.dedent(
+            """\
+            a = 1  # repro-lint: disable=async-blocking, determinism
+            b = 2  # repro-lint: disable=all
+            """
+        )
+        suppressions = parse_suppressions(source)
+        assert suppressions.suppressed("async-blocking", 1)
+        assert suppressions.suppressed("determinism", 1)
+        assert not suppressions.suppressed("fork-safety", 1)
+        assert suppressions.suppressed("fork-safety", 2)
+
+    def test_directive_inside_a_string_is_inert(self):
+        source = 'text = "# repro-lint: disable=all"\n'
+        suppressions = parse_suppressions(source)
+        assert not suppressions.suppressed("determinism", 1)
+
+    def test_suppression_filters_a_real_finding(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "core" / "ranker.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "import time\n"
+            "def f():\n"
+            "    return time.time()  # repro-lint: disable=determinism\n"
+        )
+        findings = lint_file(bad, default_config(), root=tmp_path)
+        assert findings == []
+
+
+class TestImportResolution:
+    def _imports(self, source):
+        return ImportMap(ast.parse(source))
+
+    def test_module_alias(self):
+        imports = self._imports("import time as t\n")
+        assert imports.resolve("t") == "time"
+
+    def test_from_import_and_alias(self):
+        imports = self._imports("from time import sleep as nap\n")
+        assert imports.resolve("nap") == "time.sleep"
+
+    def test_dotted_name_through_alias(self):
+        tree = ast.parse("import numpy as np\nnp.random.rand(3)\n")
+        call = tree.body[1].value
+        assert dotted_name(call.func, ImportMap(tree)) == "numpy.random.rand"
+
+    def test_dynamic_base_has_no_name(self):
+        tree = ast.parse("store.get(n)['a'].sort()\n")
+        call = tree.body[0].value
+        assert dotted_name(call.func, ImportMap(tree)) is None
+
+    def test_walk_functions_qualifies_methods(self):
+        tree = ast.parse(
+            textwrap.dedent(
+                """\
+                def helper(): ...
+                class ShardedEngine:
+                    def __init__(self): ...
+                    async def route(self):
+                        def inner(): ...
+                """
+            )
+        )
+        names = [name for name, _ in walk_functions(tree)]
+        assert names == [
+            "helper",
+            "ShardedEngine.__init__",
+            "ShardedEngine.route",
+            "ShardedEngine.route.inner",
+        ]
+
+
+class TestScoping:
+    def test_prefix_matching_is_component_wise(self):
+        assert path_matches("src/repro/core/search.py", ("src/repro/core",))
+        assert not path_matches("src/repro/core2/x.py", ("src/repro/core",))
+        assert path_matches("anything/at/all.py", ("",))
+
+    def test_rule_scope_excludes_win(self):
+        scope = RuleScope(paths=("tests",), excludes=("tests/lint",))
+        assert scope.applies_to("tests/test_engine.py")
+        assert not scope.applies_to("tests/lint/test_rules.py")
+
+    def test_fixture_directory_is_globally_excluded(self):
+        config = default_config()
+        assert config.excluded("tests/lint/fixtures/determinism_bad.py")
+        assert not config.excluded("tests/lint/test_rules.py")
+
+    def test_default_scopes_keep_rules_off_foreign_paths(self):
+        config = default_config()
+        engine_only = config.scope("async-blocking")
+        assert engine_only.applies_to("src/repro/engine/batcher.py")
+        assert not engine_only.applies_to("src/repro/core/search.py")
+        sharded_only = config.scope("fork-safety")
+        assert sharded_only.applies_to("src/repro/engine/sharded.py")
+        assert not sharded_only.applies_to("src/repro/engine/server.py")
+
+    def test_select_rejects_unknown_rules(self):
+        with pytest.raises(KeyError):
+            default_config().select(["no-such-rule"])
+
+
+class TestRunner:
+    def test_parse_error_is_a_loud_finding(self, tmp_path):
+        broken = tmp_path / "src" / "repro" / "core" / "broken.py"
+        broken.parent.mkdir(parents=True)
+        broken.write_text("def f(:\n")
+        findings = lint_file(broken, default_config(), root=tmp_path)
+        assert len(findings) == 1
+        assert findings[0].rule == "parse-error"
+
+    def test_lint_paths_orders_and_deduplicates(self, tmp_path):
+        core = tmp_path / "src" / "repro" / "core"
+        core.mkdir(parents=True)
+        (core / "a.py").write_text("import time\nx = time.time()\n")
+        (core / "b.py").write_text("import random\ny = random.random()\n")
+        findings = lint_paths(
+            [tmp_path / "src", core / "a.py"],  # a.py named twice
+            root=tmp_path,
+        )
+        assert [Path(f.path).name for f in findings] == ["a.py", "b.py"]
+
+    def test_formatter_shape(self):
+        rendered = format_findings(
+            [
+                Finding("b.py", 2, 0, "determinism", "later"),
+                Finding("a.py", 9, 4, "fork-safety", "earlier"),
+            ]
+        )
+        assert rendered.splitlines() == [
+            "a.py:9:4: [fork-safety] earlier",
+            "b.py:2:0: [determinism] later",
+            "2 findings",
+        ]
+
+
+def _run_cli(*argv, cwd=REPO_ROOT):
+    return subprocess.run(
+        [sys.executable, "-m", "tools.repro_lint", *argv],
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestCli:
+    def test_list_rules_names_every_rule(self):
+        result = _run_cli("--list-rules")
+        assert result.returncode == 0
+        for rule in (
+            "async-blocking",
+            "slab-mutation",
+            "fork-safety",
+            "no-sleep-tests",
+            "determinism",
+        ):
+            assert rule in result.stdout
+
+    def test_clean_tree_exits_zero(self, tmp_path):
+        core = tmp_path / "src" / "repro" / "core"
+        core.mkdir(parents=True)
+        core.joinpath("clean.py").write_text(
+            "import random\n"
+            "def pick(seed, items):\n"
+            "    return random.Random(seed).choice(items)\n"
+        )
+        result = _run_cli("--root", str(tmp_path), str(tmp_path / "src"))
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "repro-lint: clean" in result.stdout
+
+    def test_violations_exit_nonzero_with_file_line(self, tmp_path):
+        core = tmp_path / "src" / "repro" / "core"
+        core.mkdir(parents=True)
+        core.joinpath("bad.py").write_text(
+            "import time\ndef stamp():\n    return time.time()\n"
+        )
+        result = _run_cli("--root", str(tmp_path), str(tmp_path / "src"))
+        assert result.returncode == 1
+        assert "bad.py:3:" in result.stdout
+        assert "[determinism]" in result.stdout
+        assert "1 finding" in result.stdout
+
+    def test_select_limits_the_run(self, tmp_path):
+        core = tmp_path / "src" / "repro" / "core"
+        core.mkdir(parents=True)
+        core.joinpath("bad.py").write_text(
+            "import time\ndef stamp():\n    return time.time()\n"
+        )
+        result = _run_cli(
+            "--select", "fork-safety",
+            "--root", str(tmp_path), str(tmp_path / "src"),
+        )
+        assert result.returncode == 0  # determinism not selected
+
+    def test_unknown_select_is_a_usage_error(self):
+        result = _run_cli("--select", "no-such-rule", "src")
+        assert result.returncode == 2
+        assert "no-such-rule" in result.stderr
+
+    def test_missing_path_is_a_usage_error(self, tmp_path):
+        result = _run_cli(str(tmp_path / "does-not-exist"))
+        assert result.returncode == 2
+
+
+class TestMypyConfig:
+    def test_config_parses_and_engine_storage_check(self):
+        """CI runs mypy over engine + storage with mypy.ini; locally the
+        dev container has no mypy, so this skips rather than installs."""
+        pytest.importorskip("mypy")
+        from mypy import api as mypy_api
+
+        stdout, stderr, status = mypy_api.run(
+            [
+                "--config-file", str(REPO_ROOT / "mypy.ini"),
+                str(REPO_ROOT / "src" / "repro" / "engine"),
+                str(REPO_ROOT / "src" / "repro" / "storage"),
+            ]
+        )
+        # Config errors exit 2; type findings exit 1 and are advisory in
+        # CI until a baseline is pinned (see the lint job comment).
+        assert status != 2, stderr

@@ -1,0 +1,120 @@
+"""Meta-test: the real tree is clean, and seeded violations are caught.
+
+The first half is the actual enforcement: ``src/`` and ``tests/`` must
+produce zero findings under the default configuration — the same
+invocation CI runs.  The second half proves the zero is meaningful by
+seeding one violation per rule into a scratch tree shaped like the repo
+and asserting each is caught.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from tools.repro_lint import default_config, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+SEEDS = {
+    "async-blocking": (
+        "src/repro/engine/seeded.py",
+        """\
+        import time
+
+        async def handle(request):
+            time.sleep(0.01)
+            return request
+        """,
+    ),
+    "slab-mutation": (
+        "src/repro/storage/seeded.py",
+        """\
+        def renumber(slab_store, name):
+            arrays = slab_store.get(name)
+            arrays["ev_node"][0] = 0
+            return arrays
+        """,
+    ),
+    "fork-safety": (
+        "src/repro/engine/sharded.py",
+        """\
+        import threading
+
+        class ShardedEngine:
+            def __init__(self):
+                self._pump = threading.Thread(target=print)
+        """,
+    ),
+    "no-sleep-tests": (
+        "tests/test_seeded.py",
+        """\
+        import time
+
+        def test_waits():
+            time.sleep(0.5)
+        """,
+    ),
+    "determinism": (
+        "src/repro/core/seeded.py",
+        """\
+        import random
+
+        def tiebreak(candidates):
+            return random.choice(candidates)
+        """,
+    ),
+}
+
+
+class TestRealTreeIsClean:
+    def test_src_and_tests_have_zero_findings(self):
+        findings = lint_paths(
+            [REPO_ROOT / "src", REPO_ROOT / "tests"],
+            root=REPO_ROOT,
+        )
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+
+class TestSeededViolationsAreCaught:
+    @pytest.mark.parametrize("rule", sorted(SEEDS))
+    def test_one_seed_per_rule(self, rule, tmp_path):
+        relpath, source = SEEDS[rule]
+        seed = tmp_path / relpath
+        seed.parent.mkdir(parents=True, exist_ok=True)
+        seed.write_text(textwrap.dedent(source))
+        findings = lint_paths([tmp_path], root=tmp_path)
+        assert findings, f"seeded {rule} violation went undetected"
+        assert {f.rule for f in findings} == {rule}
+        assert all(Path(f.path).name == seed.name for f in findings)
+
+    def test_seeds_vanish_under_file_suppression(self, tmp_path):
+        relpath, source = SEEDS["determinism"]
+        seed = tmp_path / relpath
+        seed.parent.mkdir(parents=True)
+        seed.write_text(
+            "# repro-lint: disable-file=determinism\n"
+            + textwrap.dedent(source)
+        )
+        assert lint_paths([tmp_path], root=tmp_path) == []
+
+    def test_scopes_keep_seeds_inert_outside_their_layer(self, tmp_path):
+        # The same unseeded-random code outside src/repro/core/ is legal:
+        # determinism is a kernel invariant, not a global style rule.
+        _, source = SEEDS["determinism"]
+        elsewhere = tmp_path / "src" / "repro" / "engine" / "seeded.py"
+        elsewhere.parent.mkdir(parents=True)
+        elsewhere.write_text(textwrap.dedent(source))
+        findings = lint_paths([tmp_path], root=tmp_path)
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_default_config_matches_cli_default(self):
+        # lint_paths(None config) and default_config() must agree, so the
+        # meta-test above genuinely replays the CI invocation.
+        config = default_config()
+        findings = lint_paths(
+            [REPO_ROOT / "src" / "repro" / "core"],
+            config=config,
+            root=REPO_ROOT,
+        )
+        assert findings == []

@@ -352,3 +352,52 @@ class TestResultCache:
         stats = run_workload_batched(engine, workload, batch_size=2)
         assert stats.cache_stats["hits"] >= 1
         assert stats.cache_stats["misses"] >= 1
+
+
+class TestFrozenAdoption:
+    """Adopted slab arrays are frozen: shm/mmap placements are shared
+    across forked workers, so an in-place write must raise immediately
+    — and freezing must not change a single answered bit."""
+
+    def test_adopted_arrays_are_readonly(self, tmp_path):
+        rng = random.Random(21)
+        instance = random_instance(rng)
+        index = ConnectionIndex(instance).ensure_all()
+        path = tmp_path / "instance.db"
+        with SQLiteStore(path) as store:
+            store.save_instance(instance)
+            store.save_connection_index(index)
+        with SQLiteStore(path) as store:
+            warm = store.load_connection_index(store.load_instance())
+        for slab in warm._slabs.values():
+            for name, array in slab.arrays().items():
+                assert not array.flags.writeable, name
+            with pytest.raises((ValueError, RuntimeError)):
+                slab.ev_node[:] = 0
+
+    def test_slab_store_adoption_is_readonly_and_bit_identical(self):
+        from repro.storage import HeapSlabStore
+
+        rng = random.Random(22)
+        instance = random_instance(rng)
+        built = ConnectionIndex(instance).ensure_all()
+        store = HeapSlabStore()
+        assert built.export_slabs(store) == len(built.component_index)
+        adopted = ConnectionIndex(instance)
+        assert adopted.adopt_slab_store(store, strict=True) == len(
+            built.component_index
+        )
+        for slab in adopted._slabs.values():
+            for name, array in slab.arrays().items():
+                assert not array.flags.writeable, name
+        # Bit-identity: the frozen index answers exactly like the
+        # freshly built one and like the fixpoint oracle.
+        reference = _fixpoint_engine(instance)
+        engine = S3kSearch(
+            instance, connection_index=adopted, result_cache_size=0
+        )
+        for seeker in sorted(instance.users)[:3]:
+            a = engine.search(seeker, ["alpha"], k=3)
+            b = reference.search(seeker, ["alpha"], k=3)
+            assert a.results == b.results
+            assert a.iterations == b.iterations

@@ -168,3 +168,40 @@ class TestFactory:
         store = open_slab_store("heap")
         assert isinstance(store, HeapSlabStore)
         store.close()
+
+
+class TestReadOnlyEnforcement:
+    """``get`` hands out frozen views on every backend: the slabs are
+    shared (CoW heap pages, shm segments, mmap'd sidecars), so an
+    in-place write must raise instead of corrupting other readers."""
+
+    def test_every_backend_serves_frozen_views(self, store):
+        store.put("component_0", _bundle(), meta="m")
+        for name, view in store.get("component_0").items():
+            assert not view.flags.writeable, name
+
+    def test_mutation_raises_on_every_backend(self, store):
+        store.put("component_0", _bundle())
+        back = store.get("component_0")
+        with pytest.raises((ValueError, RuntimeError)):
+            back["ev_node"][0] = 99
+        with pytest.raises((ValueError, RuntimeError)):
+            back["coverage"][0, 0] = False
+        with pytest.raises((ValueError, RuntimeError)):
+            back["atom_ptr"] += 1
+        with pytest.raises((ValueError, RuntimeError)):
+            back["ev_node"].sort()
+
+    def test_freezing_never_touches_the_callers_arrays(self, store):
+        bundle = _bundle()
+        store.put("component_0", bundle)
+        store.get("component_0")
+        assert bundle["ev_node"].flags.writeable
+        bundle["ev_node"][0] = 7  # the caller's own copy stays mutable
+
+    def test_contents_identical_after_freezing(self, store):
+        bundle = _bundle()
+        store.put("component_0", bundle)
+        back = store.get("component_0")
+        for name, array in bundle.items():
+            np.testing.assert_array_equal(back[name], array)

@@ -1,0 +1,5 @@
+"""Developer tooling that ships with the repository (not the library).
+
+``tools.repro_lint`` is the project-specific static-analysis pass; run
+it with ``python -m tools.repro_lint src tests``.
+"""

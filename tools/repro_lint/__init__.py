@@ -1,0 +1,32 @@
+"""repro-lint: project-specific static analysis for the S3k stack.
+
+The serving stack's hardest-won guarantees — bit-identical answers
+across batching and sharding, read-only shared slabs, fork-before-
+thread worker spawning, deterministic no-sleep tests — are conventions
+a reviewer can miss.  This package turns each one into an AST-checked,
+CI-failing rule.  Run it from the repo root::
+
+    python -m tools.repro_lint src tests
+
+Exit status is non-zero when any finding survives; suppress a
+deliberate exception with ``# repro-lint: disable=<rule>`` on (or
+directly above) the offending line.  See CONTRIBUTING.md for the rule
+catalogue and the invariants behind it.
+"""
+
+from .base import Rule, registered_rules
+from .config import LintConfig, RuleScope, default_config
+from .findings import Finding, format_findings
+from .runner import lint_file, lint_paths
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "Rule",
+    "RuleScope",
+    "default_config",
+    "format_findings",
+    "lint_file",
+    "lint_paths",
+    "registered_rules",
+]

@@ -1,0 +1,79 @@
+"""CLI: ``python -m tools.repro_lint [paths...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .config import default_config
+from .findings import format_findings
+from .runner import lint_paths
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.repro_lint",
+        description=(
+            "Project-specific static analysis: concurrency, fork-safety "
+            "and bit-identity invariants of the S3k serving stack."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only the named rule (repeatable)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repo root the path scopes are anchored to (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    arguments = parser.parse_args(argv)
+
+    config = default_config()
+    if arguments.list_rules:
+        from .base import registered_rules
+
+        for name, rule in sorted(registered_rules().items()):
+            scope = config.scope(name)
+            paths = ", ".join(scope.paths) if scope and scope.paths else "-"
+            print(f"{name}: {rule.description}")
+            print(f"    why:   {rule.rationale}")
+            print(f"    scope: {paths}")
+        return 0
+    if arguments.select:
+        try:
+            config = config.select(arguments.select)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+
+    try:
+        findings = lint_paths(
+            arguments.paths, config=config, root=Path(arguments.root)
+        )
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if findings:
+        print(format_findings(findings))
+        return 1
+    print("repro-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

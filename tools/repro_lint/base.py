@@ -1,0 +1,175 @@
+"""Rule protocol, registry, and shared AST resolution helpers.
+
+Every rule is an AST pass over one parsed module.  The helpers here do
+the unglamorous resolution work the rules share:
+
+* :class:`ImportMap` canonicalizes local names through import aliases,
+  so ``import time as t; t.sleep(...)`` and ``from time import sleep``
+  both resolve to ``time.sleep`` — a rule matches canonical dotted
+  names, never spelling;
+* :func:`dotted_name` flattens an attribute chain (``np.random.rand``)
+  into its canonical dotted form through the import map;
+* :func:`walk_functions` yields every function with its class-qualified
+  name (``ShardedEngine.__init__``), which is how path-scoped rules
+  target "the pre-fork path" or "the sanctioned budget hooks".
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from .findings import Finding
+
+__all__ = [
+    "ImportMap",
+    "LintModule",
+    "Rule",
+    "dotted_name",
+    "register",
+    "registered_rules",
+    "walk_functions",
+]
+
+
+class ImportMap:
+    """Local name → canonical dotted module path, from the import nodes."""
+
+    def __init__(self, tree: ast.AST):
+        self._aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        self._aliases[alias.asname] = alias.name
+                    else:
+                        # ``import a.b`` binds ``a`` (to module ``a``).
+                        root = alias.name.split(".", 1)[0]
+                        self._aliases[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports resolve inside the repo
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, name: str) -> str:
+        return self._aliases.get(name, name)
+
+
+def dotted_name(node: ast.expr, imports: ImportMap) -> Optional[str]:
+    """Canonical dotted name of *node*, or ``None`` for dynamic bases.
+
+    ``np.random.rand`` → ``numpy.random.rand`` (through the import map);
+    a bare ``open`` stays ``open``; chains hanging off calls/subscripts
+    (``store.get(n)["a"]``) have no static name and return ``None``.
+    """
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    parts.reverse()
+    parts[0] = imports.resolve(parts[0])
+    return ".".join(parts)
+
+
+def walk_functions(
+    tree: ast.AST,
+) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield ``(qualname, function node)`` for every def in *tree*.
+
+    Qualnames are class- and nesting-qualified: ``ShardedEngine.__init__``,
+    ``_worker_loop``, ``ShardedEngine.route.inner``.  Parents are always
+    yielded before the functions nested inside them.
+    """
+
+    def visit(node: ast.AST, prefix: str) -> Iterator[Tuple[str, ast.AST]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}" if prefix else child.name
+                yield qualname, child
+                yield from visit(child, f"{qualname}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, f"{prefix}{child.name}.")
+            else:
+                yield from visit(child, prefix)
+
+    yield from visit(tree, "")
+
+
+@dataclass
+class LintModule:
+    """One parsed source file handed to the rules."""
+
+    path: Path  # as named on the command line (rendered in findings)
+    relpath: str  # posix path relative to the lint root (scope matching)
+    source: str
+    tree: ast.Module
+    _imports: Optional[ImportMap] = field(default=None, repr=False)
+
+    @property
+    def imports(self) -> ImportMap:
+        if self._imports is None:
+            self._imports = ImportMap(self.tree)
+        return self._imports
+
+    def finding(
+        self, node: ast.AST, rule: "Rule", message: str
+    ) -> Finding:
+        return Finding(
+            path=str(self.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule.name,
+            message=message,
+        )
+
+
+class Rule:
+    """One invariant, checked as an AST pass over a module.
+
+    Subclasses set ``name`` / ``description`` / ``rationale``,
+    ``default_paths`` (posix path prefixes relative to the lint root the
+    rule applies under — the *path scope*), and implement
+    :meth:`check`.  ``default_options`` are per-rule knobs the config
+    layer may override (e.g. the fork-safety pre-fork function list).
+    """
+
+    name: str = ""
+    description: str = ""
+    rationale: str = ""
+    default_paths: Tuple[str, ...] = ()
+    default_excludes: Tuple[str, ...] = ()
+    default_options: Mapping[str, object] = {}
+
+    def check(
+        self, module: LintModule, options: Mapping[str, object]
+    ) -> List[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding one rule instance to the registry."""
+    rule = cls()
+    if not rule.name:
+        raise ValueError(f"rule {cls.__name__} has no name")
+    if rule.name in _REGISTRY:
+        raise ValueError(f"duplicate rule name {rule.name!r}")
+    _REGISTRY[rule.name] = rule
+    return cls
+
+
+def registered_rules() -> Dict[str, Rule]:
+    """Name → rule instance, import-populated by ``tools.repro_lint.rules``."""
+    from . import rules  # noqa: F401  - importing registers the rules
+
+    return dict(_REGISTRY)

@@ -1,0 +1,107 @@
+"""Path-scoped rule configuration.
+
+Each rule carries a *scope*: the path prefixes (posix, relative to the
+lint root) it applies under, prefixes it must skip, and its option
+mapping.  The default configuration is assembled from the rules' own
+declared defaults; tests and the CLI can override scopes per rule
+(``LintConfig.override``) without touching the rule implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+from .base import Rule, registered_rules
+
+#: Prefixes no rule ever scans: lint fixtures are deliberate violations.
+GLOBAL_EXCLUDES: Tuple[str, ...] = ("tests/lint/fixtures",)
+
+
+def _normalize(prefix: str) -> str:
+    return prefix.replace("\\", "/").strip("/")
+
+
+def path_matches(relpath: str, prefixes: Tuple[str, ...]) -> bool:
+    """True when *relpath* sits under any of *prefixes* ("" = everywhere)."""
+    relpath = _normalize(relpath)
+    for prefix in prefixes:
+        prefix = _normalize(prefix)
+        if not prefix or relpath == prefix or relpath.startswith(prefix + "/"):
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class RuleScope:
+    """Where one rule applies and with which options."""
+
+    paths: Tuple[str, ...]
+    excludes: Tuple[str, ...] = ()
+    options: Mapping[str, object] = field(default_factory=dict)
+
+    def applies_to(self, relpath: str) -> bool:
+        if not path_matches(relpath, self.paths):
+            return False
+        return not path_matches(relpath, tuple(self.excludes))
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """The full run configuration: one scope per enabled rule."""
+
+    scopes: Mapping[str, RuleScope]
+    global_excludes: Tuple[str, ...] = GLOBAL_EXCLUDES
+
+    def excluded(self, relpath: str) -> bool:
+        return path_matches(relpath, self.global_excludes)
+
+    def scope(self, rule: str) -> Optional[RuleScope]:
+        return self.scopes.get(rule)
+
+    def select(self, names) -> "LintConfig":
+        """A config restricted to the named rules (CLI ``--select``)."""
+        unknown = sorted(set(names) - set(self.scopes))
+        if unknown:
+            raise KeyError(f"unknown rule(s): {', '.join(unknown)}")
+        return replace(
+            self,
+            scopes={name: self.scopes[name] for name in names},
+        )
+
+    def override(
+        self,
+        rule: str,
+        *,
+        paths: Optional[Tuple[str, ...]] = None,
+        excludes: Optional[Tuple[str, ...]] = None,
+        options: Optional[Mapping[str, object]] = None,
+    ) -> "LintConfig":
+        """A config with one rule's scope fields replaced (tests use
+        this to point a path-scoped rule at fixture files)."""
+        current = self.scopes[rule]
+        merged_options = dict(current.options)
+        if options:
+            merged_options.update(options)
+        scopes = dict(self.scopes)
+        scopes[rule] = RuleScope(
+            paths=paths if paths is not None else current.paths,
+            excludes=excludes if excludes is not None else current.excludes,
+            options=merged_options,
+        )
+        return replace(self, scopes=scopes)
+
+
+def default_config(rules: Optional[Dict[str, Rule]] = None) -> LintConfig:
+    """The project configuration: every registered rule at its declared
+    default scope and options."""
+    rules = rules if rules is not None else registered_rules()
+    scopes = {
+        name: RuleScope(
+            paths=tuple(rule.default_paths),
+            excludes=tuple(rule.default_excludes),
+            options=dict(rule.default_options),
+        )
+        for name, rule in rules.items()
+    }
+    return LintConfig(scopes=scopes)

@@ -1,0 +1,38 @@
+"""Finding records and the ``file:line:col`` findings formatter."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a source location.
+
+    ``path`` is the path the file was named by on the command line (kept
+    relative when the input was relative, so CI logs are clickable from
+    the repo root); ``line`` / ``col`` are 1-based / 0-based as in the
+    ``ast`` module.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+def format_findings(findings: Iterable[Finding]) -> str:
+    """Render findings sorted by location, one per line, plus a total."""
+    ordered: List[Finding] = sorted(findings, key=Finding.sort_key)
+    lines = [finding.render() for finding in ordered]
+    noun = "finding" if len(ordered) == 1 else "findings"
+    lines.append(f"{len(ordered)} {noun}")
+    return "\n".join(lines)

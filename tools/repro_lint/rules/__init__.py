@@ -1,0 +1,9 @@
+"""Rule modules — importing this package populates the registry."""
+
+from . import (  # noqa: F401  - imported for their @register side effect
+    async_blocking,
+    determinism,
+    fork_safety,
+    no_sleep_tests,
+    slab_mutation,
+)

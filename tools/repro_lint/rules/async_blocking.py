@@ -1,0 +1,145 @@
+"""async-blocking: the serving tier must never block its event loop.
+
+The asyncio front (``repro.engine``: http.py, batcher.py, serve.py)
+carries every in-flight request on one loop thread — a single blocking
+call inside an ``async def`` stalls all of them at once and blows the
+p99 budget the HTTP perf gate enforces.  Kernel work belongs in the
+executor (``run_in_executor``), waits belong to ``await``.
+
+Three checks, all scoped to ``src/repro/engine/``:
+
+* inside any ``async def``: calls to the blocking set — ``time.sleep``,
+  anything in ``sqlite3``, blocking ``socket`` constructors/lookups,
+  ``subprocess``/``os.system``, synchronous file I/O via builtin
+  ``open`` — are findings (nested ``def`` bodies are skipped: they are
+  values, typically shipped to an executor, not loop-thread code);
+* ``time.sleep`` anywhere in the engine tier, sync paths included: the
+  serving tier coordinates with conditions, selectors and futures,
+  never by napping (this is what caught the sharded router's
+  ``wait_for_respawn`` busy-wait);
+* ``while`` loops whose condition reads a clock (``time.monotonic`` /
+  ``perf_counter`` / ``time.time``) — deadline polling; wait on the
+  event being signalled instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Mapping
+
+from ..base import LintModule, Rule, dotted_name, register, walk_functions
+from ..findings import Finding
+
+_BLOCKING_CALLS = (
+    "time.sleep",
+    "socket.socket",
+    "socket.create_connection",
+    "socket.getaddrinfo",
+    "socket.gethostbyname",
+    "os.system",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "urllib.request.urlopen",
+    "open",
+)
+_BLOCKING_PREFIXES = ("sqlite3.",)
+_CLOCKS = (
+    "time.monotonic",
+    "time.perf_counter",
+    "time.time",
+    "time.monotonic_ns",
+    "time.perf_counter_ns",
+    "time.time_ns",
+)
+
+
+def _iter_scope(node: ast.AST):
+    """Walk *node* without descending into nested function bodies."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+@register
+class AsyncBlockingRule(Rule):
+    name = "async-blocking"
+    description = (
+        "no blocking calls (time.sleep, sqlite3, socket, subprocess, "
+        "sync file I/O) on the asyncio serving tier"
+    )
+    rationale = (
+        "every in-flight request rides one event loop; a blocking call "
+        "stalls them all and breaks the serving latency budget"
+    )
+    default_paths = ("src/repro/engine",)
+    default_options = {
+        "blocking_calls": _BLOCKING_CALLS,
+        "blocking_prefixes": _BLOCKING_PREFIXES,
+    }
+
+    def check(
+        self, module: LintModule, options: Mapping[str, object]
+    ) -> List[Finding]:
+        blocking = tuple(options["blocking_calls"])
+        prefixes = tuple(options["blocking_prefixes"])
+        findings: List[Finding] = []
+
+        def blocking_name(call: ast.Call):
+            name = dotted_name(call.func, module.imports)
+            if name is None:
+                return None
+            if name in blocking or any(name.startswith(p) for p in prefixes):
+                return name
+            return None
+
+        for qualname, function in walk_functions(module.tree):
+            is_async = isinstance(function, ast.AsyncFunctionDef)
+            for node in _iter_scope(function):
+                if isinstance(node, ast.Call):
+                    name = blocking_name(node)
+                    if name is None:
+                        continue
+                    if name == "time.sleep" and not is_async:
+                        findings.append(
+                            module.finding(
+                                node,
+                                self,
+                                f"time.sleep in '{qualname}': the serving "
+                                "tier never naps — wait on a condition, "
+                                "selector or future instead",
+                            )
+                        )
+                    elif is_async:
+                        findings.append(
+                            module.finding(
+                                node,
+                                self,
+                                f"blocking call {name}() inside async "
+                                f"'{qualname}' stalls the event loop; "
+                                "await it or run_in_executor",
+                            )
+                        )
+                elif isinstance(node, ast.While):
+                    for sub in ast.walk(node.test):
+                        if (
+                            isinstance(sub, ast.Call)
+                            and dotted_name(sub.func, module.imports)
+                            in _CLOCKS
+                        ):
+                            findings.append(
+                                module.finding(
+                                    node,
+                                    self,
+                                    f"clock-polling loop in '{qualname}': "
+                                    "busy-waiting on a deadline; wait on "
+                                    "the event being signalled instead",
+                                )
+                            )
+                            break
+        return findings

@@ -1,0 +1,134 @@
+"""fork-safety: the sharded router forks before it threads.
+
+``ShardedEngine`` builds one warm engine and **forks** N workers from
+it; fork copies only the calling thread.  A thread or executor running
+— or a lock held — when the fork happens leaves the child with a
+corpse: a mutex locked by a thread that no longer exists deadlocks the
+worker on first touch.  That is why the warm-up path (``__init__`` up
+to the ``_Shard`` forks, ``from_store``, slab placement) must neither
+spawn threads nor take locks, and why ``_worker_loop`` (the child) must
+stay single-threaded: the engine's caches are not thread-safe and the
+greedy pipe drain relies on there being exactly one consumer.
+
+Flags, inside the configured pre-fork functions and at module import
+level: thread/executor/timer creation, ``.acquire()`` calls, and
+``with``-blocks over lock-looking objects (name ends in ``lock`` /
+``mutex``).  Creating an *unheld* ``threading.Lock`` object is fine and
+not flagged — the hazard is acquisition or a live thread, not the
+object.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Mapping
+
+from ..base import LintModule, Rule, dotted_name, register, walk_functions
+from ..findings import Finding
+
+_THREAD_FACTORIES = (
+    "threading.Thread",
+    "threading.Timer",
+    "concurrent.futures.ThreadPoolExecutor",
+    "concurrent.futures.ProcessPoolExecutor",
+    "multiprocessing.pool.ThreadPool",
+    "multiprocessing.Pool",
+)
+
+_PREFORK = (
+    "ShardedEngine.__init__",
+    "ShardedEngine.from_store",
+    "ShardedEngine._place_slabs",
+    "_worker_loop",
+)
+
+
+def _lockish(node: ast.expr) -> bool:
+    if isinstance(node, ast.Attribute):
+        ident = node.attr
+    elif isinstance(node, ast.Name):
+        ident = node.id
+    else:
+        return False
+    ident = ident.lower()
+    return ident.endswith("lock") or ident.endswith("mutex")
+
+
+@register
+class ForkSafetyRule(Rule):
+    name = "fork-safety"
+    description = (
+        "no thread/executor creation or lock acquisition on the "
+        "pre-fork warm-up path or in the single-threaded worker loop"
+    )
+    rationale = (
+        "fork copies only the calling thread; a thread running or a "
+        "lock held at fork time deadlocks or corrupts the worker"
+    )
+    default_paths = ("src/repro/engine/sharded.py",)
+    default_options = {"prefork_functions": _PREFORK}
+
+    def check(
+        self, module: LintModule, options: Mapping[str, object]
+    ) -> List[Finding]:
+        prefork = tuple(options["prefork_functions"])
+        findings: List[Finding] = []
+
+        def scan(qualname: str, body_root: ast.AST) -> None:
+            for node in ast.walk(body_root):
+                if isinstance(node, ast.Call):
+                    name = dotted_name(node.func, module.imports)
+                    if name in _THREAD_FACTORIES:
+                        findings.append(
+                            module.finding(
+                                node,
+                                self,
+                                f"{name} created on the pre-fork path "
+                                f"'{qualname}': threads must not exist "
+                                "when workers fork",
+                            )
+                        )
+                    elif (
+                        isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "acquire"
+                        and _lockish(node.func.value)
+                    ):
+                        findings.append(
+                            module.finding(
+                                node,
+                                self,
+                                f"lock acquired on the pre-fork path "
+                                f"'{qualname}': a lock held at fork time "
+                                "deadlocks the child",
+                            )
+                        )
+                elif isinstance(node, (ast.With, ast.AsyncWith)):
+                    for item in node.items:
+                        expr = item.context_expr
+                        if isinstance(expr, ast.Call):
+                            expr = expr.func
+                        if _lockish(expr):
+                            findings.append(
+                                module.finding(
+                                    node,
+                                    self,
+                                    f"with-block over a lock on the "
+                                    f"pre-fork path '{qualname}': a lock "
+                                    "held at fork time deadlocks the "
+                                    "child",
+                                )
+                            )
+
+        functions = dict(walk_functions(module.tree))
+        for qualname in prefork:
+            function = functions.get(qualname)
+            if function is not None:
+                scan(qualname, function)
+        # Module import level runs before any fork by definition.
+        for statement in module.tree.body:
+            if not isinstance(
+                statement,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                scan("<module>", statement)
+        return findings

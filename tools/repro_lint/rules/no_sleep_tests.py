@@ -1,0 +1,82 @@
+"""no-sleep-tests: the test suite is deterministic — no naps, no clock
+polling.
+
+The PR 4/5 failure-injection harness was built so every race the HTTP
+and sharded tiers can exhibit is *forced*, not waited for: FaultInjector
+gates park requests, ``wait_for_inflight`` / ``wait_for_respawn`` block
+on conditions, and drain ordering is asserted on events.  A
+``time.sleep`` in a test reintroduces the flake class that discipline
+eliminated (too short: racy on loaded CI; too long: dead time multiplied
+by every run), and a wall-clock polling loop is the same nap in a trench
+coat.
+
+Flags, scoped to ``tests/``: any ``time.sleep`` call, and any ``while``
+loop whose condition reads a clock (``time.monotonic`` /
+``time.perf_counter`` / ``time.time`` / ``datetime.now``).
+``asyncio.sleep(0)`` yields are fine and not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Mapping
+
+from ..base import LintModule, Rule, dotted_name, register
+from ..findings import Finding
+
+_CLOCKS = (
+    "time.monotonic",
+    "time.perf_counter",
+    "time.time",
+    "time.monotonic_ns",
+    "time.perf_counter_ns",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+)
+
+
+@register
+class NoSleepTestsRule(Rule):
+    name = "no-sleep-tests"
+    description = "no time.sleep or wall-clock polling loops in tests"
+    rationale = (
+        "deterministic tests force races with injection hooks and "
+        "condition waits; sleeps reintroduce flakes and dead time"
+    )
+    default_paths = ("tests",)
+    default_excludes = ("tests/lint/fixtures",)
+
+    def check(
+        self, module: LintModule, options: Mapping[str, object]
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                if dotted_name(node.func, module.imports) == "time.sleep":
+                    findings.append(
+                        module.finding(
+                            node,
+                            self,
+                            "time.sleep in a test: force the state with "
+                            "an injection hook or wait on a condition "
+                            "(see tests/http_harness.py)",
+                        )
+                    )
+            elif isinstance(node, ast.While):
+                for sub in ast.walk(node.test):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and dotted_name(sub.func, module.imports) in _CLOCKS
+                    ):
+                        findings.append(
+                            module.finding(
+                                node,
+                                self,
+                                "wall-clock polling loop in a test: wait "
+                                "on the event being signalled instead of "
+                                "spinning on a deadline",
+                            )
+                        )
+                        break
+        return findings

@@ -1,0 +1,99 @@
+"""File collection, rule dispatch, and suppression filtering."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from .base import LintModule, registered_rules
+from .config import LintConfig, default_config
+from .findings import Finding
+from .suppressions import parse_suppressions
+
+__all__ = ["collect_files", "lint_file", "lint_paths"]
+
+
+def collect_files(paths: Sequence, root: Path) -> List[Path]:
+    """Expand *paths* (files or directories) into a sorted ``.py`` list."""
+    files: List[Path] = []
+    seen = set()
+    for entry in paths:
+        entry = Path(entry)
+        candidates: Iterable[Path]
+        if entry.is_dir():
+            candidates = sorted(entry.rglob("*.py"))
+        elif entry.suffix == ".py":
+            candidates = [entry]
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {entry}")
+        for candidate in candidates:
+            key = candidate.resolve()
+            if key not in seen:
+                seen.add(key)
+                files.append(candidate)
+    return files
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_file(
+    path: Path, config: LintConfig, root: Optional[Path] = None
+) -> List[Finding]:
+    """All enabled-rule findings of one file, suppressions applied.
+
+    A file that does not parse yields a single ``parse-error`` finding —
+    the linter must fail loudly on broken input, not skip it.
+    """
+    root = root if root is not None else Path.cwd()
+    relpath = _relative(path, root)
+    if config.excluded(relpath):
+        return []
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule="parse-error",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    module = LintModule(path=path, relpath=relpath, source=source, tree=tree)
+    rules = registered_rules()
+    suppressions = parse_suppressions(source)
+    findings: List[Finding] = []
+    for name, scope in config.scopes.items():
+        rule = rules.get(name)
+        if rule is None or not scope.applies_to(relpath):
+            continue
+        for finding in rule.check(module, scope.options):
+            if not suppressions.suppressed(finding.rule, finding.line):
+                findings.append(finding)
+    return sorted(findings, key=Finding.sort_key)
+
+
+def lint_paths(
+    paths: Sequence,
+    config: Optional[LintConfig] = None,
+    root: Optional[Path] = None,
+) -> List[Finding]:
+    """Lint every ``.py`` file under *paths*; findings sorted by location.
+
+    *root* anchors the path scopes (default: the current directory, i.e.
+    the repo root when invoked as ``python -m tools.repro_lint``).
+    """
+    config = config if config is not None else default_config()
+    root = root if root is not None else Path.cwd()
+    findings: List[Finding] = []
+    for path in collect_files(paths, root):
+        findings.extend(lint_file(path, config, root))
+    return sorted(findings, key=Finding.sort_key)

@@ -1,0 +1,76 @@
+"""Per-line and per-file suppression comments.
+
+Syntax (inside any comment, matched by the tokenizer so string literals
+never trigger it):
+
+* ``# repro-lint: disable=<rule>[,<rule>...]`` — suppress the named
+  rules (or ``all``) on that physical line; a comment on its own line
+  also covers the following line, so a finding can be suppressed either
+  trailing or from directly above;
+* ``# repro-lint: disable-file=<rule>[,<rule>...]`` — suppress for the
+  whole file, wherever the comment sits.
+
+Suppressions are deliberately loud in review: the rule name must be
+spelled out, there is no bare ``# repro-lint: disable``.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\-\s]+)"
+)
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression directives of one file."""
+
+    file_rules: Set[str] = field(default_factory=set)
+    line_rules: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        for bucket in (self.file_rules, self.line_rules.get(line, ())):
+            if rule in bucket or "all" in bucket:
+                return True
+        return False
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract the suppression directives from *source*.
+
+    Tokenization errors (the linter may be pointed at broken code) fall
+    back to no suppressions — the parse error surfaces elsewhere.
+    """
+    suppressions = Suppressions()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(token.string)
+        if match is None:
+            continue
+        rules = {
+            name.strip()
+            for name in match.group("rules").split(",")
+            if name.strip()
+        }
+        if match.group("kind") == "disable-file":
+            suppressions.file_rules |= rules
+            continue
+        line = token.start[0]
+        suppressions.line_rules.setdefault(line, set()).update(rules)
+        # A comment alone on its line also covers the following line.
+        prefix = token.line[: token.start[1]]
+        if not prefix.strip():
+            suppressions.line_rules.setdefault(line + 1, set()).update(rules)
+    return suppressions
