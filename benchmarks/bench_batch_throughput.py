@@ -26,9 +26,11 @@ under three traffic mixes on the I1-shaped synthetic instance:
 All served results are asserted bit-identical to sequential PR 1
 execution.  Alongside the human-readable table the bench emits
 ``BENCH_batch_throughput.json`` (schema in :mod:`benchmarks.emit`) with
-per-mix qps / latency percentiles, the gather-phase micro-comparison and
-the offline index build time, so the perf trajectory is tracked across
-PRs.
+per-mix qps / latency percentiles, the gather-phase micro-comparison,
+the offline index build time and — since ISSUE 9 — a per-mix
+``phase_breakdown`` (step vs discover vs bounds vs clean/stop seconds
+plus the certification fast-/slow-path counters), so the perf
+trajectory is tracked across PRs.
 """
 
 import random
@@ -66,6 +68,39 @@ HOT_TARGET = 2.0
 UNIQUE_TARGET = 1.5
 GATHER_TARGET = 5.0
 TIMING_ROUNDS = 3
+#: Batched-loop phases timed inside ``search_many`` (ISSUE 9): the
+#: mat-mat step, component discovery, the ``reduceat`` bounds refresh,
+#: and clean/stop certification.
+PHASES = ("step", "discover", "bounds", "clean_stop")
+#: Certification counters worth tracking next to the phase seconds.
+COUNTERS = (
+    "stop_checks_fast",
+    "stop_checks_full",
+    "clean_checks_fast",
+    "clean_checks_full",
+    "bounds_refresh_rows",
+    "batch_refresh_passes",
+    "batch_layout_builds",
+)
+
+
+def _phase_delta(before, after):
+    """Per-phase seconds + counters accrued between two
+    ``exploration_stats`` snapshots (covers all TIMING_ROUNDS rounds of
+    one timed run; shares are over the four exploration phases only)."""
+    seconds = {
+        phase: float(after[f"phase_{phase}_seconds"])
+        - float(before.get(f"phase_{phase}_seconds", 0.0))
+        for phase in PHASES
+    }
+    total = sum(seconds.values()) or 1.0
+    breakdown = {"timing_rounds": TIMING_ROUNDS}
+    for phase in PHASES:
+        breakdown[f"{phase}_seconds"] = round(seconds[phase], 4)
+        breakdown[f"{phase}_share"] = round(seconds[phase] / total, 3)
+    for counter in COUNTERS:
+        breakdown[counter] = int(after[counter]) - int(before.get(counter, 0))
+    return breakdown
 
 
 def _traffic(instance, pool_size: int, zipf_s: float, seed: int = SEED) -> Workload:
@@ -162,6 +197,7 @@ def test_batch_throughput(benchmark, twitter_instance):
     rows: List[List[object]] = []
     speedups = {}
     workload_records = []
+    phase_breakdown = {}
     for name, pool_size, zipf_s in TRAFFIC_MIXES:
         workload = _traffic(instance, pool_size, zipf_s)
         unique = len({(q.seeker, q.keywords, q.k) for q in workload.queries})
@@ -170,7 +206,11 @@ def test_batch_throughput(benchmark, twitter_instance):
         indexed.search_many(workload.queries[:8])
         seq_seconds, seq_results = _sequential_seconds(pr1, workload)
         pr1_seconds, pr1_stats = _batched(pr1, workload)
+        explore_before = dict(indexed.exploration_stats)
         idx_seconds, idx_stats = _batched(indexed, workload)
+        phase_breakdown[name] = _phase_delta(
+            explore_before, indexed.exploration_stats
+        )
         for single, via_pr1, via_index in zip(
             seq_results, pr1_stats.results, idx_stats.results
         ):
@@ -243,7 +283,28 @@ def test_batch_throughput(benchmark, twitter_instance):
         f"{gather_fixpoint_ms:.1f} ms, index {gather_index_ms:.1f} ms "
         f"({gather_speedup:.1f}x); index build {index_build_seconds * 1e3:.0f} ms"
     )
-    write_result("batch_throughput", table + "\n" + gather_line)
+    uniform_phases = phase_breakdown["uniform"]
+    stop_total = (
+        uniform_phases["stop_checks_fast"] + uniform_phases["stop_checks_full"]
+    )
+    clean_total = (
+        uniform_phases["clean_checks_fast"]
+        + uniform_phases["clean_checks_full"]
+    )
+    phase_line = (
+        "uniform exploration split: "
+        + ", ".join(
+            f"{phase} {uniform_phases[f'{phase}_share'] * 100:.0f}%"
+            for phase in PHASES
+        )
+        + f"; screen hit rates: stop "
+        f"{uniform_phases['stop_checks_fast'] / max(stop_total, 1) * 100:.0f}%, "
+        f"clean "
+        f"{uniform_phases['clean_checks_fast'] / max(clean_total, 1) * 100:.0f}%"
+    )
+    write_result(
+        "batch_throughput", table + "\n" + gather_line + "\n" + phase_line
+    )
 
     index_stats = indexed.connection_index.stats()
     write_bench_json(
@@ -257,6 +318,7 @@ def test_batch_throughput(benchmark, twitter_instance):
             "index_size_bytes": int(index_stats["size_bytes"]),
             "index_evidence_entries": int(index_stats["evidence_entries"]),
             "workloads": workload_records,
+            "phase_breakdown": phase_breakdown,
             "gather_phase": {
                 "keyword_sets": len(keyword_sets),
                 "fixpoint_ms": round(gather_fixpoint_ms, 3),

@@ -88,3 +88,40 @@ class FeasibleScore(abc.ABC):
     @abc.abstractmethod
     def structural_weight(self, distance: int) -> float:
         """Weight of a fragment at structural distance ``|pos(d, f)|``."""
+
+    # -- precomputed schedules over the iteration count --------------------
+    # The S3k loop evaluates ``B>n`` and ``Bscore(q, B>n)`` once per
+    # iteration per query; under batched lock-step execution every active
+    # query asks for the same ``n``.  The values depend only on ``n`` (and,
+    # for the threshold, the per-keyword weight bounds), so they are grown
+    # lazily into per-instance schedules and looked up in O(1).  Each entry
+    # is produced by calling the exact same scalar hook the per-iteration
+    # code used to call — bit-identity is by construction, not by hoping a
+    # vectorized re-derivation rounds the same way.
+
+    def tail_bound_at(self, n: int) -> float:
+        """``B>n`` from a lazily grown schedule (same bits as
+        :meth:`prox_tail_bound`)."""
+        schedule = self.__dict__.get("_tail_bound_schedule")
+        if schedule is None:
+            schedule = self.__dict__["_tail_bound_schedule"] = []
+        while len(schedule) <= n:
+            schedule.append(self.prox_tail_bound(len(schedule)))
+        return schedule[n]
+
+    def threshold_at(self, keyword_weight_bounds: Sequence[float], n: int) -> float:
+        """``Bscore(q, unexplored_source_bound(n))`` from a schedule keyed
+        by the per-keyword weight bounds (same bits as calling
+        :meth:`score_bound` with :meth:`unexplored_source_bound`)."""
+        schedules = self.__dict__.get("_threshold_schedules")
+        if schedules is None:
+            schedules = self.__dict__["_threshold_schedules"] = {}
+        key = tuple(keyword_weight_bounds)
+        schedule = schedules.get(key)
+        if schedule is None:
+            schedule = schedules[key] = []
+        while len(schedule) <= n:
+            schedule.append(
+                self.score_bound(key, self.unexplored_source_bound(len(schedule)))
+            )
+        return schedule[n]

@@ -45,6 +45,13 @@ TIE_EPSILON = 1e-9
 #: normally triggers far earlier.
 DEFAULT_MAX_ITERATIONS = 300
 
+#: minimum iterations between batch-layout rebuilds while states keep
+#: growing (a rebuild concatenates every active state's layout; during
+#: the early discovery storm the per-state refresh path is cheaper)
+_REBUILD_INTERVAL = 4
+
+#: Shared empty index array for iterations that reach no new nodes.
+
 
 @dataclass
 class Candidate:
@@ -144,10 +151,19 @@ class QueryState:
     #: indexes (vectorized diff against the border's nonzero pattern)
     seen: Optional[np.ndarray] = None
     threshold: float = math.inf
-    #: flat index layout driving the vectorized bound updates
+    #: ``weight_bounds`` pre-tupled once so the per-iteration threshold
+    #: schedule lookup hashes a ready-made key
+    weight_key: Tuple[float, ...] = ()
+    #: latched once ``matching ⊆ processed`` — the subset test is O(|matching|)
+    #: and monotone (``processed`` only grows), so it never needs re-checking
+    all_matched: bool = False
+    #: flat index layout driving the vectorized bound updates; owns the
+    #: authoritative ``lowers`` / ``uppers`` arrays (scattered back into
+    #: the :class:`Candidate` objects lazily, only before slow paths)
     layout: Optional["_BoundsLayout"] = None
-    #: True when candidates were added since the layout was (re)built
-    sources_dirty: bool = True
+    #: set while the state's layout has grown past the batch-wide layout
+    #: snapshot — the state refreshes per-state until the next rebuild
+    needs_own_refresh: bool = False
     candidates: Dict[URI, Candidate] = field(default_factory=dict)
     processed: Set[int] = field(default_factory=set)
     candidate_uris: Set[URI] = field(default_factory=set)
@@ -163,40 +179,394 @@ class QueryState:
         return (self.keywords, self.semantic)
 
 
-class _BoundsLayout:
-    """Flat numpy layout of one query's candidate/connection structure.
+def _concat(parts: List[np.ndarray], dtype) -> np.ndarray:
+    return np.concatenate(parts) if parts else np.empty(0, dtype=dtype)
 
-    Rebuilt whenever gathering adds candidates; per iteration the whole
-    ``[lower, upper]`` interval refresh then reduces to a handful of
-    vectorized operations (one source-proximity ``reduceat``, two weighted
-    gathers, per-keyword sum and per-candidate product ``reduceat``s)
-    instead of a Python loop over every connection of every candidate.
-    The element order inside every segment mirrors the original per-
-    candidate loops, so the float results are bit-identical.
+
+class _ComponentLayout:
+    """Flat bounds-refresh structure of one component's candidate templates.
+
+    The segment arrays (connection weights, per-keyword / per-candidate
+    offsets, deduplicated source slots with their closed-neighborhood
+    index runs, vertical-neighbor root groups) depend only on the
+    component and the extended keyword set — never on the seeker — so one
+    block is built per ``(component, keywords)`` pair, cached next to the
+    candidate templates in :class:`_BatchCache`, and shared by every
+    query state that gathers the component.  Per-state and batch-wide
+    layouts are pure concatenations of these blocks with offset shifts.
+
+    Positions are *template-indexed*: position ``p`` is the ``p``-th
+    template of the component, whether or not it is live (a candidate
+    with an empty connection list for some keyword has a constant
+    ``[0, 0]`` interval — the score is a product over keywords — and is
+    settled at creation, outside the refresh).  Source proximity is
+    deduplicated per component: a source's proximity is a ``reduceat``
+    over its own sorted neighborhood run, so the slot arrangement cannot
+    change the float results.
     """
 
     __slots__ = (
-        "candidates",
-        "n_slots",
-        "nonempty",
+        "n_all",
+        "n_live",
+        "live",
+        "conn_weight",
+        "conn_src",
+        "kw_offsets",
+        "cand_offsets",
+        "n_conns",
+        "n_kws",
         "source_concat",
         "source_offsets",
+        "nonempty",
+        "n_slots",
+        "group_pos",
+        "group_offsets",
+        "depths",
+        "uris",
+        "pair_shallow",
+        "pair_deep",
+    )
+
+
+class _BoundsLayout:
+    """Append-only flat layout of one query's candidate/connection state.
+
+    Grows by whole :class:`_ComponentLayout` blocks as exploration
+    discovers matching components; :meth:`ensure` concatenates the block
+    arrays (with offset shifts) only when something was appended since
+    the last build.  Candidate positions are stable for the lifetime of
+    the query — cleaning removes candidates from the *dict*, never from
+    the arrays; stale rows merely keep refreshing (their bounds stay
+    valid, see the screen soundness notes on the kernel methods).
+
+    The layout owns the authoritative ``lowers`` / ``uppers`` arrays,
+    refreshed once per iteration (per state or batch-wide).  The
+    :class:`Candidate` objects' ``lower`` / ``upper`` attributes are
+    written back lazily by :meth:`S3kSearch._sync_bounds`, only when a
+    slow path (full clean / full stop replay / final assembly) is about
+    to read them; ``synced`` tracks whether that write-back is current.
+
+    ``removed`` marks positions whose candidate the exact clean has
+    dropped from the dict.  The rows still refresh (keeping the arrays a
+    plain superset image), but the certification screens substitute
+    neutral values for them — without the mask, the very gap that caused
+    a removal keeps flagging no-op full cleans forever.
+    """
+
+    __slots__ = (
+        "blocks",
+        "built_blocks",
+        "candidates",
+        "dirty",
+        "synced",
+        "n_all",
+        "n_live",
+        "live_pos",
+        "lowers",
+        "uppers",
+        "removed",
+        "n_removed",
+        "screen_cache",
+        "batch_stats",
+        "conn_weight",
+        "conn_src",
+        "kw_offsets",
+        "cand_offsets",
+        "source_concat",
+        "source_offsets",
+        "nonempty",
+        "n_slots",
+        "group_pos",
+        "group_offsets",
+        "conn_base",
+        "kw_base",
+        "group_base",
+        "depths",
+        "uris",
+        "uri_rank",
+        "pair_shallow",
+        "pair_deep",
+        "pair_set",
+        "has_duplicates",
+    )
+
+    def __init__(self) -> None:
+        self.blocks: List[_ComponentLayout] = []
+        self.built_blocks = 0
+        self.candidates: List[Candidate] = []
+        self.dirty = False
+        self.synced = True
+        self.n_all = 0
+        self.n_live = 0
+        self.live_pos = np.empty(0, dtype=np.intp)
+        self.lowers = np.empty(0, dtype=np.float64)
+        self.uppers = np.empty(0, dtype=np.float64)
+        self.removed = np.zeros(0, dtype=bool)
+        self.n_removed = 0
+        self.screen_cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        #: ``(min raw upper, max raw lower)`` over the live rows of the
+        #: last refresh, recorded by whichever refresh pass ran (batch
+        #: segment reductions or the per-state pass).  Raw means removed
+        #: rows are included, which only loosens the bracket — the screens
+        #: use it for sound one-compare fast paths.
+        self.batch_stats: Optional[Tuple[float, float]] = None
+        self.conn_weight = np.empty(0, dtype=np.float64)
+        self.conn_src = np.empty(0, dtype=np.intp)
+        self.kw_offsets = np.empty(0, dtype=np.intp)
+        self.cand_offsets = np.empty(0, dtype=np.intp)
+        self.source_concat = np.empty(0, dtype=np.int64)
+        self.source_offsets = np.empty(0, dtype=np.intp)
+        self.nonempty = np.empty(0, dtype=np.intp)
+        self.n_slots = 0
+        self.group_pos = np.empty(0, dtype=np.intp)
+        self.group_offsets = np.empty(0, dtype=np.intp)
+        self.conn_base = 0
+        self.kw_base = 0
+        self.group_base = 0
+        self.depths = np.empty(0, dtype=np.intp)
+        self.uris = np.empty(0, dtype=np.str_)
+        #: tie-break rank: position → index in the ascending-URI order of
+        #: all positions (URIs are unique across components)
+        self.uri_rank = np.empty(0, dtype=np.intp)
+        self.pair_shallow = np.empty(0, dtype=np.intp)
+        self.pair_deep = np.empty(0, dtype=np.intp)
+        #: ``(min_pos, max_pos)`` membership view of the pair arrays
+        self.pair_set: Set[Tuple[int, int]] = set()
+        #: defensive: a candidate appeared at two positions — the exact
+        #: screens assume positions ↔ dict members, so they stand down
+        self.has_duplicates = False
+
+    def append(self, block: _ComponentLayout, candidates: List[Candidate]) -> None:
+        """Add one gathered component's block (candidates in template order)."""
+        self.blocks.append(block)
+        self.candidates.extend(candidates)
+        self.dirty = True
+
+    def ensure(self) -> None:
+        """Concatenate newly appended block arrays onto the built layout.
+
+        Positions are append-only, so only the blocks added since the
+        last build need shifting and concatenating — the already-built
+        arrays are reused verbatim as the first concat operand (a state
+        that grows over many iterations pays O(total) copying per growth
+        either way, but not a Python loop over every old block).
+        """
+        if not self.dirty:
+            return
+        if self.built_blocks == 0 and len(self.blocks) == 1:
+            # First build from a single block: adopt the cached block
+            # arrays directly (every base offset is zero).  They are
+            # shared read-only across states; the per-state interval
+            # arrays are still allocated fresh below.
+            block = self.blocks[0]
+            if block.n_live:
+                self.live_pos = block.live
+                self.n_live = block.n_live
+                self.conn_weight = block.conn_weight
+                self.conn_src = block.conn_src
+                self.kw_offsets = block.kw_offsets
+                self.cand_offsets = block.cand_offsets
+                self.source_concat = block.source_concat
+                self.source_offsets = block.source_offsets
+                self.nonempty = block.nonempty
+            self.built_blocks = 1
+            self.n_all = block.n_all
+            self.conn_base = block.n_conns
+            self.kw_base = block.n_kws
+            self.n_slots = block.n_slots
+            self.group_pos = block.group_pos
+            self.group_offsets = block.group_offsets
+            self.group_base = int(block.group_pos.size)
+            self.depths = block.depths
+            self.uris = block.uris
+            self.pair_shallow = block.pair_shallow
+            self.pair_deep = block.pair_deep
+            if block.pair_shallow.size:
+                self.pair_set = set(
+                    zip(
+                        np.minimum(
+                            block.pair_shallow, block.pair_deep
+                        ).tolist(),
+                        np.maximum(
+                            block.pair_shallow, block.pair_deep
+                        ).tolist(),
+                    )
+                )
+            self._finish_build()
+            return
+        live_parts: List[np.ndarray] = [self.live_pos]
+        weight_parts: List[np.ndarray] = [self.conn_weight]
+        src_parts: List[np.ndarray] = [self.conn_src]
+        kw_parts: List[np.ndarray] = [self.kw_offsets]
+        cand_parts: List[np.ndarray] = [self.cand_offsets]
+        concat_parts: List[np.ndarray] = [self.source_concat]
+        offset_parts: List[np.ndarray] = [self.source_offsets]
+        nonempty_parts: List[np.ndarray] = [self.nonempty]
+        group_parts: List[np.ndarray] = [self.group_pos]
+        group_offset_parts: List[np.ndarray] = [self.group_offsets]
+        depth_parts: List[np.ndarray] = [self.depths]
+        uri_parts: List[np.ndarray] = [self.uris]
+        pair_shallow_parts: List[np.ndarray] = [self.pair_shallow]
+        pair_deep_parts: List[np.ndarray] = [self.pair_deep]
+        cand_base = self.n_all
+        conn_base = self.conn_base
+        kw_base = self.kw_base
+        slot_base = self.n_slots
+        source_base = int(self.source_concat.size)
+        group_base = self.group_base
+        for block in self.blocks[self.built_blocks :]:
+            if block.n_live:
+                live_parts.append(block.live + cand_base)
+                weight_parts.append(block.conn_weight)
+                src_parts.append(block.conn_src + slot_base)
+                kw_parts.append(block.kw_offsets + conn_base)
+                cand_parts.append(block.cand_offsets + kw_base)
+                concat_parts.append(block.source_concat)
+                offset_parts.append(block.source_offsets + source_base)
+                nonempty_parts.append(block.nonempty + slot_base)
+            if block.group_pos.size:
+                group_parts.append(block.group_pos + cand_base)
+                group_offset_parts.append(block.group_offsets + group_base)
+            depth_parts.append(block.depths)
+            uri_parts.append(block.uris)
+            if block.pair_shallow.size:
+                shallow = block.pair_shallow + cand_base
+                deep = block.pair_deep + cand_base
+                pair_shallow_parts.append(shallow)
+                pair_deep_parts.append(deep)
+                self.pair_set.update(
+                    zip(
+                        np.minimum(shallow, deep).tolist(),
+                        np.maximum(shallow, deep).tolist(),
+                    )
+                )
+            cand_base += block.n_all
+            conn_base += block.n_conns
+            kw_base += block.n_kws
+            slot_base += block.n_slots
+            source_base += block.source_concat.size
+            group_base += block.group_pos.size
+        self.built_blocks = len(self.blocks)
+        self.n_all = cand_base
+        self.conn_base = conn_base
+        self.kw_base = kw_base
+        self.live_pos = np.concatenate(live_parts)
+        self.n_live = int(self.live_pos.size)
+        self.conn_weight = np.concatenate(weight_parts)
+        self.conn_src = np.concatenate(src_parts)
+        self.kw_offsets = np.concatenate(kw_parts)
+        self.cand_offsets = np.concatenate(cand_parts)
+        self.source_concat = np.concatenate(concat_parts)
+        self.source_offsets = np.concatenate(offset_parts)
+        self.nonempty = np.concatenate(nonempty_parts)
+        self.n_slots = slot_base
+        self.group_pos = np.concatenate(group_parts)
+        self.group_offsets = np.concatenate(group_offset_parts)
+        self.group_base = group_base
+        self.depths = np.concatenate(depth_parts)
+        self.uris = np.concatenate(uri_parts)
+        self.pair_shallow = np.concatenate(pair_shallow_parts)
+        self.pair_deep = np.concatenate(pair_deep_parts)
+        self._finish_build()
+
+    def _finish_build(self) -> None:
+        # Ascending-URI rank across all positions, the static third key of
+        # the exact orderings ``(-bound, -depth, uri)`` the screens
+        # replay.  numpy unicode comparison is code-point-wise exactly
+        # like ``str``; the stable kind preserves position order on ties
+        # (duplicate URIs), matching the Python sort it replaces.
+        order = np.argsort(self.uris, kind="stable")
+        rank = np.empty(self.n_all, dtype=np.intp)
+        rank[order] = np.arange(self.n_all, dtype=np.intp)
+        self.uri_rank = rank
+        # Settled positions stay 0.0 forever; live positions are rewritten
+        # by the very next bounds refresh, so plain zeros are enough.  The
+        # removed mask keeps its prefix — cleaned positions stay cleaned.
+        self.lowers = np.zeros(self.n_all, dtype=np.float64)
+        self.uppers = np.zeros(self.n_all, dtype=np.float64)
+        grown = np.zeros(self.n_all, dtype=bool)
+        grown[: self.removed.size] = self.removed
+        self.removed = grown
+        self.screen_cache = None
+        self.batch_stats = None
+        self.dirty = False
+
+
+class _BatchLayout:
+    """Concatenation of the active states' layouts for one shared refresh.
+
+    Scales every source gather index by the column count (*row_stride* =
+    number of active queries) and adds the query column, so a single flat
+    gather against the C-contiguous column-major ``(size, n_active)``
+    accumulated matrix feeds one ``reduceat`` pass refreshing every
+    query's ``[lower, upper]`` intervals.  Rebuilt only when enough
+    states gathered new candidates or the batch compacted (column
+    retirement changes the stride).
+    """
+
+    __slots__ = (
+        "gather",
+        "source_offsets",
+        "nonempty",
+        "n_slots",
         "conn_src",
         "conn_weight",
         "kw_offsets",
         "cand_offsets",
+        "scatter",
+        "seg_starts",
     )
 
-    def __init__(self) -> None:
-        self.candidates: List[Candidate] = []
-        self.n_slots = 0
-        self.nonempty: Optional[np.ndarray] = None
-        self.source_concat: Optional[np.ndarray] = None
-        self.source_offsets: Optional[np.ndarray] = None
-        self.conn_src: Optional[np.ndarray] = None
-        self.conn_weight: Optional[np.ndarray] = None
-        self.kw_offsets: Optional[np.ndarray] = None
-        self.cand_offsets: Optional[np.ndarray] = None
+    def __init__(self, active: List["QueryState"], row_stride: int) -> None:
+        gather_parts: List[np.ndarray] = []
+        offset_parts: List[np.ndarray] = []
+        nonempty_parts: List[np.ndarray] = []
+        src_parts: List[np.ndarray] = []
+        weight_parts: List[np.ndarray] = []
+        kw_parts: List[np.ndarray] = []
+        cand_parts: List[np.ndarray] = []
+        #: (layout, start, count, live positions) per included state —
+        #: output rows ``[start, start + count)`` scatter into ``layout``.
+        #: *count* / *live positions* are snapshots from build time: a
+        #: layout that grows later refreshes per-state until the next
+        #: rebuild, and the snapshot keeps the old segment widths aligned
+        #: (the prefix rows it writes are still the same candidates).
+        self.scatter: List[Tuple[_BoundsLayout, int, int, np.ndarray]] = []
+        conn_base = kw_base = slot_base = source_base = 0
+        out_base = 0
+        for row, state in enumerate(active):
+            layout = state.layout
+            if layout is None:
+                continue
+            layout.ensure()
+            if not layout.n_live:
+                continue
+            gather_parts.append(layout.source_concat * np.int64(row_stride) + row)
+            offset_parts.append(layout.source_offsets + source_base)
+            nonempty_parts.append(layout.nonempty + slot_base)
+            src_parts.append(layout.conn_src + slot_base)
+            weight_parts.append(layout.conn_weight)
+            kw_parts.append(layout.kw_offsets + conn_base)
+            cand_parts.append(layout.cand_offsets + kw_base)
+            self.scatter.append((layout, out_base, layout.n_live, layout.live_pos))
+            conn_base += layout.conn_weight.size
+            kw_base += layout.kw_offsets.size
+            slot_base += layout.n_slots
+            source_base += layout.source_concat.size
+            out_base += layout.n_live
+        self.gather = _concat(gather_parts, np.int64)
+        self.source_offsets = _concat(offset_parts, np.intp)
+        self.nonempty = _concat(nonempty_parts, np.intp)
+        self.n_slots = slot_base
+        self.conn_src = _concat(src_parts, np.intp)
+        self.conn_weight = _concat(weight_parts, np.float64)
+        self.kw_offsets = _concat(kw_parts, np.intp)
+        self.cand_offsets = _concat(cand_parts, np.intp)
+        #: start row of each scattered state's segment, for the one-pass
+        #: per-segment ``reduceat`` certification stats
+        self.seg_starts = np.asarray(
+            [start for _, start, _, _ in self.scatter], dtype=np.intp
+        )
 
 
 class _LRUDict(OrderedDict):
@@ -303,12 +673,15 @@ class _BatchCache:
         self.weight_bounds: Dict[Tuple, List[float]] = factory()
         #: (component ident, (keywords, semantic)) -> candidate templates
         self.component_candidates: Dict[Tuple, List[Tuple]] = factory()
+        #: (component ident, (keywords, semantic)) -> _ComponentLayout
+        self.component_layouts: Dict[Tuple, _ComponentLayout] = factory()
 
     def clear(self) -> None:
         self.extensions.clear()
         self.matching.clear()
         self.weight_bounds.clear()
         self.component_candidates.clear()
+        self.component_layouts.clear()
 
 
 def _normalize_keywords(keywords: Sequence[object]) -> Tuple[Term, ...]:
@@ -396,6 +769,24 @@ class S3kSearch:
         self._keyword_nodes: Dict[Term, List[URI]] = {}
         self._keyword_tags: Dict[Term, List[URI]] = {}
         self._component_stats: Dict[int, Tuple[int, int, int]] = {}
+        #: fast-path / slow-path certification counters (monotone)
+        self._stats: Dict[str, int] = {
+            "stop_checks_fast": 0,
+            "stop_checks_full": 0,
+            "clean_checks_fast": 0,
+            "clean_checks_full": 0,
+            "bounds_refresh_rows": 0,
+            "batch_refresh_passes": 0,
+            "batch_layout_builds": 0,
+        }
+        #: wall seconds per batched-loop phase (read inside search_many,
+        #: a sanctioned budget hook of the determinism lint)
+        self._phase_seconds: Dict[str, float] = {
+            "step": 0.0,
+            "discover": 0.0,
+            "bounds": 0.0,
+            "clean_stop": 0.0,
+        }
         self._build_keyword_indexes()
 
     # ------------------------------------------------------------------
@@ -443,6 +834,16 @@ class S3kSearch:
             return {"hits": 0, "misses": 0, "size": 0, "maxsize": 0}
         return self._result_cache.stats()
 
+    @property
+    def exploration_stats(self) -> Dict[str, object]:
+        """Fast-/slow-path certification counters and the per-phase wall
+        seconds of the batched loop (what ``/stats`` surfaces to make the
+        screen hit rate observable)."""
+        merged: Dict[str, object] = dict(self._stats)
+        for phase, seconds in self._phase_seconds.items():
+            merged[f"phase_{phase}_seconds"] = round(seconds, 6)
+        return merged
+
     # ------------------------------------------------------------------
     # Index construction
     # ------------------------------------------------------------------
@@ -478,6 +879,8 @@ class S3kSearch:
                 index = self.prox_index.node_index_of(uri)
                 if index is not None:
                     self._index_component[index] = component.ident
+        #: encoding stride for batch-wide (row, component) discovery pairs
+        self._component_stride = max(int(self._index_component.max()) + 1, 1)
 
     # ------------------------------------------------------------------
     # Query-time helpers
@@ -634,11 +1037,123 @@ class S3kSearch:
             cache.component_candidates[(component.ident, cache_key)] = templates
         return templates
 
+    def _component_layout(
+        self,
+        templates: List[Tuple],
+        cache: Optional[_BatchCache] = None,
+        cache_key: Optional[Tuple] = None,
+    ) -> _ComponentLayout:
+        """The flat refresh block of one component's candidate templates.
+
+        Seeker-independent (segment offsets, weights, deduplicated source
+        slots with their neighborhood index runs, root groups), so it is
+        computed once per ``(component, keywords)`` pair and shared via
+        *cache* exactly like the templates themselves.  The element order
+        inside every segment mirrors the original per-candidate loops, so
+        the refreshed floats are bit-identical to the per-object path.
+        """
+        if cache is not None and cache_key is not None:
+            cached = cache.component_layouts.get(cache_key)
+            if cached is not None:
+                return cached
+        layout = _ComponentLayout()
+        live: List[int] = []
+        slot_of: Dict[URI, int] = {}
+        concat_parts: List[np.ndarray] = []
+        source_offsets: List[int] = []
+        nonempty: List[int] = []
+        conn_src: List[int] = []
+        weight_parts: List[np.ndarray] = []
+        kw_offsets: List[int] = []
+        cand_offsets: List[int] = []
+        by_root: Dict[URI, List[int]] = {}
+        total = 0
+        for position, template in enumerate(templates):
+            root = template[1]
+            by_root.setdefault(root, []).append(position)
+            counts = template[6]
+            if not counts or 0 in counts:
+                continue
+            live.append(position)
+            cand_offsets.append(len(kw_offsets))
+            offset = len(conn_src)
+            for count in counts:
+                kw_offsets.append(offset)
+                offset += count
+            for source in template[8]:
+                slot = slot_of.get(source)
+                if slot is None:
+                    slot = len(slot_of)
+                    slot_of[source] = slot
+                    indices = self.prox_index.closed_neighborhood_indices(source)
+                    if indices.size:
+                        nonempty.append(slot)
+                        source_offsets.append(total)
+                        concat_parts.append(indices)
+                        total += indices.size
+                conn_src.append(slot)
+            weight_parts.append(template[7])
+        group_pos: List[int] = []
+        group_offsets: List[int] = []
+        pair_shallow: List[int] = []
+        pair_deep: List[int] = []
+        for positions in by_root.values():
+            if len(positions) < 2:
+                continue
+            group_offsets.append(len(group_pos))
+            group_pos.extend(positions)
+            # Vertical-neighbor pairs, shallow (strictly smaller depth —
+            # a proper dewey prefix is strictly shorter) listed first.
+            # Static per block, so the certification screens can test the
+            # exact directional condition instead of a whole-group gap.
+            for index, position_a in enumerate(positions):
+                dewey_a = templates[position_a][3]
+                for position_b in positions[index + 1 :]:
+                    dewey_b = templates[position_b][3]
+                    if len(dewey_a) <= len(dewey_b):
+                        shorter, longer = dewey_a, dewey_b
+                        shallow, deep = position_a, position_b
+                    else:
+                        shorter, longer = dewey_b, dewey_a
+                        shallow, deep = position_b, position_a
+                    if longer[: len(shorter)] == shorter:
+                        pair_shallow.append(shallow)
+                        pair_deep.append(deep)
+        layout.depths = np.asarray(
+            [template[2] for template in templates], dtype=np.intp
+        )
+        # Unicode copies of the candidate URIs: numpy compares code
+        # points exactly like ``str``, so the screens' URI tiebreak rank
+        # comes from one C argsort instead of a Python sort per growth.
+        layout.uris = np.asarray(
+            [str(template[0]) for template in templates], dtype=np.str_
+        )
+        layout.pair_shallow = np.asarray(pair_shallow, dtype=np.intp)
+        layout.pair_deep = np.asarray(pair_deep, dtype=np.intp)
+        layout.n_all = len(templates)
+        layout.live = np.asarray(live, dtype=np.intp)
+        layout.n_live = len(live)
+        layout.conn_weight = _concat(weight_parts, np.float64)
+        layout.conn_src = np.asarray(conn_src, dtype=np.intp)
+        layout.kw_offsets = np.asarray(kw_offsets, dtype=np.intp)
+        layout.cand_offsets = np.asarray(cand_offsets, dtype=np.intp)
+        layout.n_conns = int(layout.conn_weight.size)
+        layout.n_kws = len(kw_offsets)
+        layout.source_concat = _concat(concat_parts, np.int64)
+        layout.source_offsets = np.asarray(source_offsets, dtype=np.intp)
+        layout.nonempty = np.asarray(nonempty, dtype=np.intp)
+        layout.n_slots = len(slot_of)
+        layout.group_pos = np.asarray(group_pos, dtype=np.intp)
+        layout.group_offsets = np.asarray(group_offsets, dtype=np.intp)
+        if cache is not None and cache_key is not None:
+            cache.component_layouts[cache_key] = layout
+        return layout
+
     def _gather_candidates(
         self,
         component: Component,
         extensions: Dict[Term, Set[Term]],
-        candidates: Dict[URI, Candidate],
+        state: QueryState,
         cache: Optional[_BatchCache] = None,
         cache_key: Optional[Tuple] = None,
     ) -> int:
@@ -646,9 +1161,21 @@ class S3kSearch:
 
         The :class:`Candidate` objects themselves are always fresh (their
         score intervals are per-query state) but their ``connections`` and
-        ``sources`` payloads are immutable and may be shared batch-wide.
+        ``sources`` payloads are immutable and may be shared batch-wide,
+        as is the component's :class:`_ComponentLayout` block appended to
+        the state's bounds layout (components partition the documents, so
+        one component is gathered at most once per query and template
+        order is the candidate order).
         """
         templates = self._candidate_templates(component, extensions, cache, cache_key)
+        if not templates:
+            return 0
+        layout_key = (
+            (component.ident, cache_key) if cache_key is not None else None
+        )
+        block = self._component_layout(templates, cache, layout_key)
+        candidates = state.candidates
+        created: List[Candidate] = []
         added = 0
         for (
             candidate_uri,
@@ -661,9 +1188,16 @@ class S3kSearch:
             conn_weights,
             conn_sources,
         ) in templates:
-            if candidate_uri in candidates:
+            existing = candidates.get(candidate_uri)
+            if existing is not None:
+                created.append(existing)
+                if state.layout is not None:
+                    # Two positions now mirror one candidate; the exact
+                    # certification screens assume positions ↔ dict
+                    # members, so they fall back to conservative tests.
+                    state.layout.has_duplicates = True
                 continue
-            candidates[candidate_uri] = Candidate(
+            candidate = Candidate(
                 uri=candidate_uri,
                 root=root,
                 depth=depth,
@@ -674,88 +1208,39 @@ class S3kSearch:
                 conn_weights=conn_weights,
                 conn_sources=conn_sources,
             )
+            if not kw_counts or 0 in kw_counts:
+                # Settled: an empty per-keyword connection list pins the
+                # score (a product over keywords) to the [0, 0] interval.
+                candidate.upper = 0.0
+            candidates[candidate_uri] = candidate
+            created.append(candidate)
             added += 1
+        if state.layout is not None:
+            state.layout.append(block, created)
+        # Every gathered candidate was examined, whether or not a later
+        # clean drops it — recorded here once instead of re-scanning the
+        # dict every iteration.
+        state.candidate_uris.update(template[0] for template in templates)
         return added
 
     # ------------------------------------------------------------------
     # Bounds
     # ------------------------------------------------------------------
-    def _refresh_bounds_layout(self, state: QueryState) -> None:
-        """(Re)build the flat index layout for the state's candidate set.
-
-        Only rebuilt when gathering added candidates; candidates removed
-        by cleaning merely leave harmless extra segments behind until the
-        next rebuild.  A candidate with an empty connection list for some
-        keyword has a constant ``[0, 0]`` interval (the score is a product
-        over keywords), so it is settled here and skipped per iteration.
-        The segment offsets and weights come straight from the candidates'
-        flat template arrays (index slices), not from re-walking the
-        per-candidate connection dicts.
-        """
-        layout = _BoundsLayout()
-        slot_of: Dict[URI, int] = {}
-        parts: List[np.ndarray] = []
-        source_offsets: List[int] = []
-        nonempty: List[int] = []
-        conn_src: List[int] = []
-        weight_parts: List[np.ndarray] = []
-        kw_offsets: List[int] = []
-        cand_offsets: List[int] = []
-        total = 0
-        for candidate in state.candidates.values():
-            counts = candidate.kw_counts
-            if not counts or 0 in counts:
-                candidate.lower = 0.0
-                candidate.upper = 0.0
-                continue
-            layout.candidates.append(candidate)
-            cand_offsets.append(len(kw_offsets))
-            offset = len(conn_src)
-            for count in counts:
-                kw_offsets.append(offset)
-                offset += count
-            for source in candidate.conn_sources:
-                slot = slot_of.get(source)
-                if slot is None:
-                    slot = len(slot_of)
-                    slot_of[source] = slot
-                    indices = self.prox_index.closed_neighborhood_indices(source)
-                    if indices.size:
-                        nonempty.append(slot)
-                        source_offsets.append(total)
-                        parts.append(indices)
-                        total += indices.size
-                conn_src.append(slot)
-            weight_parts.append(candidate.conn_weights)
-        layout.n_slots = len(slot_of)
-        layout.nonempty = np.asarray(nonempty, dtype=np.intp)
-        layout.source_concat = (
-            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
-        )
-        layout.source_offsets = np.asarray(source_offsets, dtype=np.intp)
-        layout.conn_src = np.asarray(conn_src, dtype=np.intp)
-        layout.conn_weight = (
-            np.concatenate(weight_parts)
-            if weight_parts
-            else np.empty(0, dtype=np.float64)
-        )
-        layout.kw_offsets = np.asarray(kw_offsets, dtype=np.intp)
-        layout.cand_offsets = np.asarray(cand_offsets, dtype=np.intp)
-        state.layout = layout
-        state.sources_dirty = False
-
     def _update_bounds(self, state: QueryState, tail_bound: float) -> None:
-        """Refresh every candidate's ``[lower, upper]`` score interval.
+        """Refresh one state's ``[lower, upper]`` arrays (sequential path).
 
         ``lower`` uses the accumulated (≤ n-step) source proximities;
         ``upper`` additionally grants every source the remaining proximity
         tail.  All sums/products run over the same elements in the same
         order as the straightforward per-candidate loops, via ``reduceat``.
+        The results land in the layout's flat arrays; the Candidate
+        objects are synced lazily (:meth:`_sync_bounds`).
         """
-        if state.sources_dirty:
-            self._refresh_bounds_layout(state)
         layout = state.layout
-        if layout is None or not layout.candidates:
+        if layout is None:
+            return
+        layout.ensure()
+        if not layout.n_live:
             return
         prox = np.zeros(layout.n_slots, dtype=np.float64)
         if layout.source_concat.size:
@@ -767,13 +1252,80 @@ class S3kSearch:
         upper_terms = layout.conn_weight * np.minimum(1.0, conn_prox + tail_bound)
         lower_sums = np.add.reduceat(lower_terms, layout.kw_offsets)
         upper_sums = np.add.reduceat(upper_terms, layout.kw_offsets)
-        lowers = np.multiply.reduceat(lower_sums, layout.cand_offsets)
-        uppers = np.multiply.reduceat(upper_sums, layout.cand_offsets)
-        for candidate, lower, upper in zip(
-            layout.candidates, lowers.tolist(), uppers.tolist()
-        ):
+        lower_vals = np.multiply.reduceat(lower_sums, layout.cand_offsets)
+        upper_vals = np.multiply.reduceat(upper_sums, layout.cand_offsets)
+        layout.lowers[layout.live_pos] = lower_vals
+        layout.uppers[layout.live_pos] = upper_vals
+        layout.synced = False
+        layout.screen_cache = None
+        layout.batch_stats = (float(upper_vals.min()), float(lower_vals.max()))
+        self._stats["bounds_refresh_rows"] += layout.n_live
+
+    def _refresh_bounds_batch(
+        self, batch: _BatchLayout, acc_rows: np.ndarray, tail_bound: float
+    ) -> None:
+        """One ``reduceat`` pass refreshing every active query's intervals.
+
+        *acc_rows* is the C-contiguous column-major ``(size, n_active)``
+        accumulated matrix; the batch layout's gather indices already
+        carry the stride and query column, so a single flat gather
+        replaces the N per-state gathers.  ``reduceat`` reduces each
+        segment independently left-to-right, so concatenating the
+        per-state segments preserves every float bit of the per-state
+        refresh.
+        """
+        if not batch.scatter:
+            return
+        flat = acc_rows.reshape(-1)
+        prox = np.zeros(batch.n_slots, dtype=np.float64)
+        if batch.gather.size:
+            prox[batch.nonempty] = np.add.reduceat(
+                flat[batch.gather], batch.source_offsets
+            )
+        conn_prox = prox[batch.conn_src]
+        lower_terms = batch.conn_weight * conn_prox
+        upper_terms = batch.conn_weight * np.minimum(1.0, conn_prox + tail_bound)
+        lower_sums = np.add.reduceat(lower_terms, batch.kw_offsets)
+        upper_sums = np.add.reduceat(upper_terms, batch.kw_offsets)
+        lowers = np.multiply.reduceat(lower_sums, batch.cand_offsets)
+        uppers = np.multiply.reduceat(upper_sums, batch.cand_offsets)
+        # Per-segment certification stats fall out of the same pass: one
+        # reduceat pair gives every state its (min upper, max lower)
+        # bracket, turning most screen calls into two float compares.
+        seg_max_lower = np.maximum.reduceat(lowers, batch.seg_starts).tolist()
+        seg_min_upper = np.minimum.reduceat(uppers, batch.seg_starts).tolist()
+        refreshed = 0
+        for entry, up_min, lo_max in zip(batch.scatter, seg_min_upper, seg_max_lower):
+            layout, start, count, live_pos = entry
+            stop = start + count
+            layout.lowers[live_pos] = lowers[start:stop]
+            layout.uppers[live_pos] = uppers[start:stop]
+            layout.synced = False
+            layout.screen_cache = None
+            layout.batch_stats = (up_min, lo_max)
+            refreshed += count
+        self._stats["bounds_refresh_rows"] += refreshed
+        self._stats["batch_refresh_passes"] += 1
+
+    def _sync_bounds(self, state: QueryState) -> None:
+        """Scatter the layout's interval arrays into the Candidate objects.
+
+        Slow paths (full clean, full stop replay, final assembly) read
+        ``candidate.lower`` / ``candidate.upper``; everything else works
+        on the flat arrays, so the per-object writes happen only when a
+        slow path is actually about to run.  Settled positions hold 0.0
+        (set once at creation and never refreshed) and stale positions
+        write into objects no longer in the dict — both harmless.
+        """
+        layout = state.layout
+        if layout is None or layout.synced or layout.dirty:
+            return
+        lowers = layout.lowers.tolist()
+        uppers = layout.uppers.tolist()
+        for candidate, lower, upper in zip(layout.candidates, lowers, uppers):
             candidate.lower = lower
             candidate.upper = upper
+        layout.synced = True
 
     # ------------------------------------------------------------------
     # Vertical-neighbor utilities
@@ -850,6 +1402,186 @@ class S3kSearch:
                         to_remove.add(shallow.uri)
         for uri in to_remove:
             candidates.pop(uri, None)
+
+    def _screen_arrays(
+        self, layout: _BoundsLayout
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Effective interval arrays for the certification screens.
+
+        Removed positions (dropped from the dict by a previous exact
+        clean) are substituted with neutral values so the screens see the
+        dict, not the ever-growing superset: lower → 0.0 (never raises a
+        maximum or a k-th order statistic above the dict's), and two
+        upper fills — 0.0 (never raises an upper order statistic; exact
+        for counts of positive uppers) and +inf (never drags a minimum
+        below the dict's).  Cached per refresh; with nothing removed the
+        authoritative arrays serve all three roles unchanged.
+        """
+        cached = layout.screen_cache
+        if cached is None:
+            if layout.n_removed:
+                removed = layout.removed
+                lowers_eff = np.where(removed, 0.0, layout.lowers)
+                uppers_zero = np.where(removed, 0.0, layout.uppers)
+                uppers_inf = np.where(removed, math.inf, layout.uppers)
+            else:
+                lowers_eff = layout.lowers
+                uppers_zero = layout.uppers
+                uppers_inf = layout.uppers
+            cached = layout.screen_cache = (lowers_eff, uppers_zero, uppers_inf)
+        return cached
+
+    def _reference_kth_lower(
+        self, layout: _BoundsLayout, k: int
+    ) -> Optional[float]:
+        """Rule (i)'s greedy neighbor-free reference, replayed on positions.
+
+        Identical selection to :meth:`_clean_candidates`: positions in
+        ``(-lower, -depth, uri)`` order (``lexsort``'s last key is
+        primary; ``uri_rank`` encodes the ascending-URI tiebreak), taking
+        the first k that pairwise avoid the precomputed vertical-neighbor
+        pairs.  Returns the k-th pick's lower bound, or ``None`` when no
+        neighbor-free k-set exists (rule (i) then cannot remove).
+        """
+        order = np.lexsort((layout.uri_rank, -layout.depths, -layout.lowers))
+        removed = layout.removed if layout.n_removed else None
+        pair_set = layout.pair_set
+        lowers = layout.lowers
+        reference: List[int] = []
+        for position in order.tolist():
+            if removed is not None and removed[position]:
+                continue
+            conflict = False
+            for picked in reference:
+                key = (
+                    (position, picked)
+                    if position < picked
+                    else (picked, position)
+                )
+                if key in pair_set:
+                    conflict = True
+                    break
+            if conflict:
+                continue
+            reference.append(position)
+            if len(reference) == k:
+                return float(lowers[position])
+        return None
+
+    def _clean_screen(self, state: QueryState, tail_bound: float) -> bool:
+        """Exact vector test: can :meth:`_clean_candidates` remove anything?
+
+        Runs on the effective interval arrays (:meth:`_screen_arrays`):
+        the rows of dict members carry their authoritative bounds, settled
+        rows hold 0.0 (they are dict members too, until cleaned), and
+        removed rows are neutralized.  Returning ``False`` must prove the
+        exact clean is a no-op; returning ``True`` merely runs it.
+
+        Rule (i) removes a candidate iff ``upper < kth_ref - eps`` for
+        the greedy neighbor-free reference of size k — the screen replays
+        that selection exactly (:meth:`_reference_kth_lower`) and tests
+        the dict's min upper (+inf fills never drag it below the dict's)
+        against it.  Two relaxations run first so the replay is reached
+        only when it can matter: ``kth_ref ≤ kth_unconstrained ≤
+        max_lower`` (the zeros of removed rows never push an order
+        statistic above the dict's).
+
+        Rule (ii) removes exactly when some precomputed vertical pair has
+        ``shallow.upper < deep.lower - eps`` (a descendant-dominated
+        ancestor), or at convergence (``tail_bound < eps``) a breakable
+        tie ``|a.upper - b.upper| ≤ eps`` between live pair members —
+        both tested directly on the pair index arrays.
+        """
+        layout = state.layout
+        if (
+            layout is None
+            or layout.dirty
+            or layout.n_all == 0
+            or layout.has_duplicates
+        ):
+            # No trustworthy layout arrays to screen with: run the exact
+            # pass.  Only reachable for stateless corner cases — every
+            # live iteration refreshes right before cleaning.
+            return bool(state.candidates)
+        stats = layout.batch_stats
+        if stats is not None:
+            # Refresh-time bracket, no arrays touched: the raw segment min
+            # never exceeds the dict's min upper (settled rows pin it to
+            # 0.0 when present), the raw max never undershoots any dict
+            # lower.  ``min_upper ≥ max_lower − eps`` therefore rules out
+            # BOTH removal rules at once — rule (i) because the reference
+            # k-th lower is itself ≤ max_lower, rule (ii) because every
+            # shallow upper ≥ min_upper ≥ max_lower − eps ≥ deep lower −
+            # eps.  Only the convergence tie-break (pairs, tail < eps)
+            # escapes the bracket.
+            pairs_empty = not layout.pair_shallow.size
+            if pairs_empty and layout.n_all < state.k:
+                return False
+            if pairs_empty or tail_bound >= TIE_EPSILON:
+                min_upper_bound = (
+                    stats[0]
+                    if layout.n_live == layout.n_all
+                    else min(stats[0], 0.0)
+                )
+                if min_upper_bound >= stats[1] - TIE_EPSILON:
+                    return False
+        lowers, _, uppers = self._screen_arrays(layout)
+        min_upper = uppers.min()
+        max_lower = lowers.max()
+        if min_upper < max_lower - TIE_EPSILON and layout.n_all >= state.k:
+            if state.k == 1:
+                kth_relaxed = max_lower
+            else:
+                kth_relaxed = np.partition(lowers, layout.n_all - state.k)[
+                    layout.n_all - state.k
+                ]
+            if min_upper < kth_relaxed - TIE_EPSILON:
+                kth_ref = self._reference_kth_lower(layout, state.k)
+                if kth_ref is not None and min_upper < kth_ref - TIE_EPSILON:
+                    return True
+        shallow, deep = layout.pair_shallow, layout.pair_deep
+        if shallow.size:
+            if bool(np.any(uppers[shallow] < lowers[deep] - TIE_EPSILON)):
+                return True
+            if tail_bound < TIE_EPSILON:
+                raw = layout.uppers
+                tie = np.abs(raw[shallow] - raw[deep]) <= TIE_EPSILON
+                if layout.n_removed:
+                    removed = layout.removed
+                    tie &= ~(removed[shallow] | removed[deep])
+                if bool(np.any(tie)):
+                    return True
+        return False
+
+    def _clean_candidates_screened(
+        self, state: QueryState, tail_bound: float
+    ) -> None:
+        """Run the exact clean only when the vector screen flags the state.
+
+        A clean that removed candidates marks their layout positions in
+        the ``removed`` mask so the next screens stop seeing the rows —
+        the membership diff costs one pass over the positions, paid only
+        when something was actually removed (total removals are bounded
+        by total candidates ever gathered).
+        """
+        candidates = state.candidates
+        if not candidates:
+            return
+        if not self._clean_screen(state, tail_bound):
+            self._stats["clean_checks_fast"] += 1
+            return
+        self._stats["clean_checks_full"] += 1
+        self._sync_bounds(state)
+        n_before = len(candidates)
+        self._clean_candidates(candidates, state.k, tail_bound)
+        layout = state.layout
+        if layout is not None and not layout.dirty and len(candidates) != n_before:
+            removed = layout.removed
+            for position, candidate in enumerate(layout.candidates):
+                if not removed[position] and candidate.uri not in candidates:
+                    removed[position] = True
+            layout.n_removed = int(np.count_nonzero(removed))
+            layout.screen_cache = None
 
     # ------------------------------------------------------------------
     # Stop condition (Algorithm 2)
@@ -981,28 +1713,131 @@ class S3kSearch:
                 if cache is not None:
                     cache.weight_bounds[key] = weight_bounds
             state.weight_bounds = weight_bounds
+            state.weight_key = tuple(weight_bounds)
             state.border = self.prox_index.start_vector(seeker_uri)
             state.accumulated = np.zeros(self.prox_index.size, dtype=np.float64)
             state.accumulated[self.prox_index.node_index(seeker_uri)] = (
                 self.score.c_gamma
             )
             state.seen = state.border != 0
+            state.layout = _BoundsLayout()
         else:
             state.done = True
         return state
+
+    def _stop_replay_positions(
+        self,
+        layout: _BoundsLayout,
+        k: int,
+        threshold: float,
+        converged: bool,
+    ) -> bool:
+        """Position-level mirror of :meth:`_stop_condition`.
+
+        Returns True iff the object replay provably returns False ("can't
+        stop yet"): same ``(-upper, -depth, uri)`` scan order (via
+        ``lexsort`` with the static ``uri_rank`` tiebreak), same first-
+        excluder lookup (the precomputed vertical-pair set), same
+        certification thresholds — but over flat arrays and integer
+        positions instead of sorted :class:`Candidate` objects.  Removed
+        positions are skipped (they are not in the dict); settled ones
+        sort last and terminate the scan exactly like the object replay's
+        ``upper ≤ 0`` skip.
+        """
+        lowers = layout.lowers
+        uppers = layout.uppers
+        removed = layout.removed if layout.n_removed else None
+        order = np.lexsort((layout.uri_rank, -layout.depths, -uppers))
+        pair_set = layout.pair_set
+        picked: List[int] = []
+        min_top_lower = math.inf
+        for position in order.tolist():
+            if removed is not None and removed[position]:
+                continue
+            upper = uppers[position]
+            if upper <= 0.0:
+                # Descending scan: every remaining upper is ≤ 0 too.
+                break
+            excluder = -1
+            for pick in picked:
+                key = (
+                    (position, pick) if position < pick else (pick, position)
+                )
+                if key in pair_set:
+                    excluder = pick
+                    break
+            if excluder >= 0:
+                if upper <= lowers[excluder] + TIE_EPSILON:
+                    continue
+                if converged and abs(upper - uppers[excluder]) <= TIE_EPSILON:
+                    continue
+                return True
+            if len(picked) < k:
+                picked.append(position)
+                lower = lowers[position]
+                if lower < min_top_lower:
+                    min_top_lower = lower
+                continue
+            if upper > min_top_lower + TIE_EPSILON:
+                return True
+            break
+        if len(picked) < k:
+            return threshold > TIE_EPSILON
+        return threshold > min_top_lower + TIE_EPSILON
+
+    def _stop_screen(self, state: QueryState, tail_bound: float) -> bool:
+        """Exact test: can the threshold stop possibly fire this iteration?
+
+        Proves :meth:`_stop_condition`'s sorted object replay must return
+        False, skipping it.  A one-pass relaxation runs first — both
+        terminal branches need the threshold at or below some candidate
+        lower (+ eps): the under-filled branch needs ``threshold ≤ eps``
+        (lowers ≥ 0), the full branch ``threshold ≤ min_top_lower + eps ≤
+        max_lower + eps``, where ``max_lower`` over the effective arrays
+        (:meth:`_screen_arrays`) never undershoots the dict's.  When the
+        relaxation can't decide, :meth:`_stop_replay_positions` replays
+        the greedy certification exactly on the flat arrays — so the
+        object replay runs only on the iteration it actually certifies
+        (or when a defensive duplicate made positions untrustworthy).
+        """
+        threshold = state.threshold
+        layout = state.layout
+        if layout is None or layout.dirty or layout.n_all == 0:
+            return threshold > TIE_EPSILON
+        stats = layout.batch_stats
+        if stats is not None and threshold > stats[1] + TIE_EPSILON:
+            # The raw segment max never undershoots the dict's max lower,
+            # so the one-compare relaxation is sound without arrays.
+            return True
+        lowers, _, _ = self._screen_arrays(layout)
+        if threshold > lowers.max() + TIE_EPSILON:
+            return True
+        if layout.has_duplicates:
+            return False
+        return self._stop_replay_positions(
+            layout, state.k, threshold, tail_bound < TIE_EPSILON
+        )
 
     def _check_stop(self, state: QueryState) -> bool:
         """Algorithm 2's pre-step check; sets ``terminated_by`` / ``done``."""
         if state.done:
             return True
-        ordered = sorted(
-            state.candidates.values(), key=lambda c: (-c.upper, -c.depth, c.uri)
-        )
-        tail_bound = self.score.prox_tail_bound(state.iterations)
-        if self._stop_condition(ordered, state.k, state.threshold, tail_bound):
-            state.terminated_by = "threshold"
-            state.done = True
-        elif state.iterations >= state.hard_cap:
+        tail_bound = self.score.tail_bound_at(state.iterations)
+        if self._stop_screen(state, tail_bound):
+            # The replay provably cannot certify: only the anytime
+            # budgets apply this iteration.
+            self._stats["stop_checks_fast"] += 1
+        else:
+            self._stats["stop_checks_full"] += 1
+            self._sync_bounds(state)
+            ordered = sorted(
+                state.candidates.values(), key=lambda c: (-c.upper, -c.depth, c.uri)
+            )
+            if self._stop_condition(ordered, state.k, state.threshold, tail_bound):
+                state.terminated_by = "threshold"
+                state.done = True
+                return True
+        if state.iterations >= state.hard_cap:
             state.terminated_by = "anytime"
             state.done = True
         elif (
@@ -1013,62 +1848,89 @@ class S3kSearch:
             state.done = True
         return state.done
 
+    def _absorb_discovery(
+        self,
+        state: QueryState,
+        cache: Optional[_BatchCache] = None,
+        idents: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Discovery half of one absorbed step: components + threshold.
+
+        Bumps the iteration counter, folds newly reached nodes into the
+        processed-component set (gathering candidates for matching
+        components), and refreshes the unexplored-document threshold.
+        *idents* is this state's slice of the batch-wide newly-reached
+        component scan (ascending, exactly the order the per-state
+        ``np.unique`` produced); sequentially it is derived from the
+        state's own border / seen arrays.
+        """
+        state.iterations += 1
+        if idents is None:
+            reached = state.border != 0
+            fresh = np.flatnonzero(reached & ~state.seen)
+            state.seen |= reached
+            if fresh.size:
+                found = self._index_component[fresh]
+                idents = np.unique(found[found >= 0]).tolist()
+            else:
+                idents = ()
+        for ident in idents:
+            if ident in state.processed:
+                continue
+            state.processed.add(ident)
+            if ident in state.matching:
+                added = self._gather_candidates(
+                    self.component_index.component(ident),
+                    state.extensions,
+                    state,
+                    cache=cache,
+                    cache_key=state.cache_key,
+                )
+                state.candidates_examined += added
+            else:
+                state.components_discarded += 1
+        if state.all_matched:
+            state.threshold = 0.0
+        elif state.matching <= state.processed:
+            state.all_matched = True
+            state.threshold = 0.0
+        else:
+            state.threshold = self.score.threshold_at(
+                state.weight_key, state.iterations
+            )
+
+    def _post_step(self, state: QueryState, tail_bound: float) -> None:
+        """Certification half: clean the candidate set (screened).
+
+        ``candidate_uris`` is recorded at gather time (candidates only
+        ever enter the dict there, and cleaning runs after the per-
+        iteration recording ran in the original loop), so no per-
+        iteration pass over the whole dict is needed here.
+        """
+        self._clean_candidates_screened(state, tail_bound)
+
     def _absorb_step(
         self,
         state: QueryState,
         cache: Optional[_BatchCache] = None,
-        reached: Optional[np.ndarray] = None,
     ) -> None:
         """Fold one already-propagated border back into *state*.
 
         The caller has already advanced ``state.border`` /
-        ``state.accumulated`` — per query through
-        :meth:`ProximityIndex.step` (sequential) or for a whole batch at
-        once through :meth:`ProximityIndex.step_many` (batched);
-        everything here is per-query work, identical in both modes.
-        *reached* is the border's nonzero mask when the caller already
-        computed it batch-wide.
+        ``state.accumulated`` through :meth:`ProximityIndex.step`; the
+        batched loop runs the same three sub-phases (discovery, bounds
+        refresh, certification) over all active states, sharing one
+        bounds pass — each state sees the identical per-state sequence,
+        which is what keeps the two modes bit-identical.
         """
-        state.iterations += 1
-        n = state.iterations
-
-        if reached is None:
-            reached = state.border != 0
-        fresh = np.flatnonzero(reached & ~state.seen)
-        state.seen |= reached
-        if fresh.size:
-            idents = self._index_component[fresh]
-            for ident in np.unique(idents[idents >= 0]).tolist():
-                if ident in state.processed:
-                    continue
-                state.processed.add(ident)
-                if ident in state.matching:
-                    added = self._gather_candidates(
-                        self.component_index.component(ident),
-                        state.extensions,
-                        state.candidates,
-                        cache=cache,
-                        cache_key=state.cache_key,
-                    )
-                    state.candidates_examined += added
-                    if added:
-                        state.sources_dirty = True
-                else:
-                    state.components_discarded += 1
-
-        if state.matching <= state.processed:
-            state.threshold = 0.0
-        else:
-            state.threshold = self.score.score_bound(
-                state.weight_bounds, self.score.unexplored_source_bound(n)
-            )
-        tail_bound = self.score.prox_tail_bound(n)
+        self._absorb_discovery(state, cache=cache)
+        tail_bound = self.score.tail_bound_at(state.iterations)
         self._update_bounds(state, tail_bound)
-        state.candidate_uris.update(state.candidates.keys())
-        self._clean_candidates(state.candidates, state.k, tail_bound)
+        self._post_step(state, tail_bound)
 
     def _finish(self, state: QueryState) -> SearchResult:
         """Assemble the top-k answer and timing of a finished query."""
+        self._sync_bounds(state)
         results = self._assemble(state.candidates, state.k)
         wall_time = time.perf_counter() - state.started
         return SearchResult(
@@ -1214,10 +2076,15 @@ class S3kSearch:
                     (request.seeker, request.keywords, request.semantic, request.k)
                 )
                 if cached is not None:
+                    # Refresh both timing fields, exactly as search() does
+                    # on a replay: a replayed answer spent no exploration
+                    # time, and the two fields must stay consistent.
+                    elapsed = time.perf_counter() - batch_started
                     replayed[key] = replace(
                         cached,
                         batch_index=batch_index,
-                        wall_time=time.perf_counter() - batch_started,
+                        elapsed_seconds=elapsed,
+                        wall_time=elapsed,
                     )
                     continue
             unique_states[key] = self._prepare_query(
@@ -1234,38 +2101,132 @@ class S3kSearch:
         states = list(unique_states.values())
         active = [state for state in states if not self._check_stop(state)]
         borders: Optional[np.ndarray] = None
+        acc_rows: Optional[np.ndarray] = None
+        seen_rows: Optional[np.ndarray] = None
+        batch_layout: Optional[_BatchLayout] = None
+        built_at = -_REBUILD_INTERVAL
+        if active:
+            # Batch-major state: the accumulated vectors and seen masks of
+            # all active queries live as columns of two C-contiguous
+            # column-major matrices — the same orientation ``step_many``
+            # produces — so the per-iteration accumulate / reach / fresh
+            # updates run without a single transposed (strided) pass, and
+            # the bounds refresh gathers from one flat array.
+            acc_rows = np.ascontiguousarray(
+                np.stack([state.accumulated for state in active], axis=1)
+            )
+            seen_rows = np.ascontiguousarray(
+                np.stack([state.seen for state in active], axis=1)
+            )
+            for row, state in enumerate(active):
+                state.accumulated = acc_rows[:, row]
+                state.seen = seen_rows[:, row]
+        phase = self._phase_seconds
         while active:
+            step_started = time.perf_counter()
             if borders is None:
                 borders = np.column_stack([state.border for state in active])
             stepped = self.prox_index.step_many(borders)
             stepped /= self.score.gamma
-            deltas = self.score.c_gamma * stepped
-            # One transposed comparison gives every query's reached mask as
-            # a contiguous row (column slices of the C-ordered stepped
-            # matrix would be strided and slow to scan).
-            reached_rows = stepped.T != 0
-            for column, state in enumerate(active):
-                state.border = stepped[:, column]
-                state.accumulated += deltas[:, column]
-                self._absorb_step(state, cache=cache, reached=reached_rows[column])
-            keep = [
-                column
-                for column, state in enumerate(active)
-                if not self._check_stop(state)
-            ]
+            acc_rows += self.score.c_gamma * stepped
+            reached_rows = stepped != 0
+            fresh_matrix = reached_rows & ~seen_rows
+            seen_rows |= reached_rows
+            # One batch-wide scan classifies every newly reached node of
+            # every query: encode (row, component) pairs into one integer
+            # key, dedupe with a single ``np.unique`` (ascending idents
+            # within each row — the order the per-state unique produced),
+            # and hand each state its slice.
+            stride = self._component_stride
+            nodes_f, rows_f = np.nonzero(fresh_matrix)
+            found = self._index_component[nodes_f]
+            mask = found >= 0
+            if mask.any():
+                encoded = np.unique(rows_f[mask] * stride + found[mask])
+                disc_rows = encoded // stride
+                disc_idents = encoded % stride
+                row_bounds = np.searchsorted(
+                    disc_rows, np.arange(len(active) + 1)
+                )
+            else:
+                row_bounds = None
+            discover_started = time.perf_counter()
+            n_stale = 0
+            for row, state in enumerate(active):
+                state.border = stepped[:, row]
+                idents = (
+                    disc_idents[row_bounds[row] : row_bounds[row + 1]].tolist()
+                    if row_bounds is not None
+                    else ()
+                )
+                self._absorb_discovery(state, cache=cache, idents=idents)
+                if state.layout is not None and state.layout.dirty:
+                    state.needs_own_refresh = True
+                if state.needs_own_refresh:
+                    n_stale += 1
+            bounds_started = time.perf_counter()
+            # All active states share the same iteration count n — the
+            # lock-step invariant — so one tail bound serves the batch.
+            tail_bound = self.score.tail_bound_at(active[0].iterations)
+            # Rebuilding the batch-wide concatenation costs a pass over
+            # every state, so a few grown states refresh per-state against
+            # their own layout instead (identical reduceat segments →
+            # identical bits); rebuild once growth is no longer the
+            # exception — or after a compaction dropped the layout.  The
+            # rebuild interval keeps the early discovery storm (every
+            # state growing every iteration) from rebuilding every
+            # iteration: between rebuilds the grown states simply stay on
+            # the per-state path.
+            iteration_now = active[0].iterations
+            if batch_layout is None or (
+                2 * n_stale >= len(active)
+                and iteration_now - built_at >= _REBUILD_INTERVAL
+            ):
+                batch_layout = _BatchLayout(active, len(active))
+                built_at = iteration_now
+                self._stats["batch_layout_builds"] += 1
+                for state in active:
+                    state.needs_own_refresh = False
+            self._refresh_bounds_batch(batch_layout, acc_rows, tail_bound)
+            for state in active:
+                if state.needs_own_refresh:
+                    self._update_bounds(state, tail_bound)
+            certify_started = time.perf_counter()
+            keep = []
+            for row, state in enumerate(active):
+                self._post_step(state, tail_bound)
+                if not self._check_stop(state):
+                    keep.append(row)
+            done_at = time.perf_counter()
+            phase["step"] += discover_started - step_started
+            phase["discover"] += bounds_started - discover_started
+            phase["bounds"] += certify_started - bounds_started
+            phase["clean_stop"] += done_at - certify_started
             if len(keep) == len(active):
                 # Nobody retired: the stepped matrix simply becomes the next
                 # border matrix, with no per-iteration re-stacking.
                 borders = stepped
             else:
                 kept = set(keep)
-                for column, state in enumerate(active):
-                    if column not in kept:
-                        # A retired border is never read again; dropping the
-                        # view releases this iteration's stepped matrix.
+                for row, state in enumerate(active):
+                    if row not in kept:
+                        # Retired rows are never read again; dropping the
+                        # views releases this iteration's stepped matrix
+                        # and, after compaction, the old row matrices.
                         state.border = None
-                active = [active[column] for column in keep]
-                borders = np.ascontiguousarray(stepped[:, keep]) if active else None
+                        state.accumulated = None
+                        state.seen = None
+                active = [active[row] for row in keep]
+                if active:
+                    borders = np.ascontiguousarray(stepped[:, keep])
+                    acc_rows = np.ascontiguousarray(acc_rows[:, keep])
+                    seen_rows = np.ascontiguousarray(seen_rows[:, keep])
+                    for row, state in enumerate(active):
+                        state.accumulated = acc_rows[:, row]
+                        state.seen = seen_rows[:, row]
+                else:
+                    borders = acc_rows = seen_rows = None
+                batch_layout = None
 
         finished = {key: self._finish(state) for key, state in unique_states.items()}
         if self._result_cache is not None:

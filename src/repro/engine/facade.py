@@ -461,8 +461,11 @@ class Engine:
         Sections: ``engine`` (served queries, kernel rebuilds, instance
         version), ``result_cache`` (hit / miss / occupancy),
         ``connection_index`` (slab counts incl. persisted / adopted,
-        size, build time) and ``batcher`` (flush and collapse counters,
-        aggregated across retired event loops).
+        size, build time), ``batcher`` (flush and collapse counters,
+        aggregated across retired event loops) and ``exploration``
+        (fast-/slow-path certification counters and per-phase wall
+        seconds of the batched exploration loop — the screen hit rate
+        behind ``/stats``).
 
         A pure read: it reports the *current* kernel and never triggers
         a rebuild (a monitoring loop polling between mutations must not
@@ -497,6 +500,7 @@ class Engine:
             "result_cache": dict(self.cache_stats),
             "connection_index": connection,
             "batcher": batcher,
+            "exploration": dict(self.exploration_stats),
         }
 
     # -- BatchStats compatibility --------------------------------------
@@ -508,6 +512,17 @@ class Engine:
         if self._kernel is None:
             return {"hits": 0, "misses": 0, "size": 0, "maxsize": 0}
         return self._kernel.cache_stats
+
+    @property
+    def exploration_stats(self) -> Dict[str, object]:
+        """Kernel certification counters (same shape as
+        ``S3kSearch.exploration_stats``).
+
+        Read-only like :meth:`stats`: no kernel rebuild on access; empty
+        before the first query builds a kernel."""
+        if self._kernel is None:
+            return {}
+        return dict(self._kernel.exploration_stats)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

@@ -90,6 +90,10 @@ class BatchStats:
     #: full ``Engine.stats()`` snapshot when the executor is an
     #: :class:`~repro.engine.facade.Engine` facade (empty for bare kernels)
     engine_stats: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: kernel fast-/slow-path certification counters and per-phase wall
+    #: seconds observed right after the run (``S3kSearch.exploration_stats``
+    #: shape; empty for executors without an exploration kernel)
+    exploration_stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def n_queries(self) -> int:
@@ -141,6 +145,9 @@ def run_workload_batched(
                 stats.deadline_misses += 1
         stats.results.extend(results)
     stats.cache_stats = dict(getattr(engine, "cache_stats", {}) or {})
+    stats.exploration_stats = dict(
+        getattr(engine, "exploration_stats", {}) or {}
+    )
     if hasattr(engine, "stats") and callable(engine.stats):
         snapshot = engine.stats()
         if isinstance(snapshot, dict):

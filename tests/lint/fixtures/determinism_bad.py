@@ -39,3 +39,11 @@ def times_outside_the_budget_hooks(matrix, border):
 class S3kSearch:
     def _score_candidates(self, candidates):
         return sorted(candidates, key=lambda c: random.random())  # BAD
+
+    def _refresh_bounds_batch(self, batch, states):
+        # The batch-major bookkeeping helpers are NOT budget hooks: only
+        # search_many itself may time its phases.
+        started = time.perf_counter()  # BAD: batch helper reads the clock
+        for state in states:
+            state.synced = False
+        self.phase_seconds = time.perf_counter() - started  # BAD: same

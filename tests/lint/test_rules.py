@@ -28,7 +28,7 @@ EXPECTED_BAD_FINDINGS = {
     "slab-mutation": 7,
     "fork-safety": 6,
     "no-sleep-tests": 4,
-    "determinism": 8,
+    "determinism": 10,
 }
 
 
@@ -88,6 +88,56 @@ class TestGoodFixtures:
     def test_legal_spellings_stay_clean(self, rule):
         findings = _run_rule_on(rule, _fixture(rule, "good"))
         assert findings == [], [finding.render() for finding in findings]
+
+
+class TestDeterminismBudgetHookScoping:
+    """The batch-major helpers of ISSUE 9 must stay outside the
+    sanctioned monotonic-clock hooks: phase timing is read only in the
+    ``search_many`` loop body, never in the bookkeeping it calls."""
+
+    def test_batch_helpers_are_not_sanctioned_hooks(self):
+        from tools.repro_lint.rules.determinism import _BUDGET_HOOKS
+
+        assert "S3kSearch.search_many" in _BUDGET_HOOKS
+        for helper in (
+            "S3kSearch._refresh_bounds_batch",
+            "S3kSearch._update_bounds",
+            "S3kSearch._clean_screen",
+            "S3kSearch._stop_screen",
+            "S3kSearch._absorb_discovery",
+        ):
+            assert helper not in _BUDGET_HOOKS
+
+    def test_helper_nested_inside_a_hook_is_still_flagged(self, tmp_path):
+        # innermost-def attribution: a def nested in search_many has its
+        # own qualname and is not sanctioned by the enclosing hook
+        path = tmp_path / "kernel.py"
+        path.write_text(
+            "import time\n"
+            "\n"
+            "\n"
+            "class S3kSearch:\n"
+            "    def search_many(self, queries):\n"
+            "        def tick():\n"
+            "            return time.perf_counter()\n"
+            "        return [tick() for _ in queries]\n"
+        )
+        findings = _run_rule_on("determinism", path)
+        assert len(findings) == 1
+        assert "tick" in findings[0].message
+
+    def test_clock_read_in_hook_body_stays_clean(self, tmp_path):
+        path = tmp_path / "kernel.py"
+        path.write_text(
+            "import time\n"
+            "\n"
+            "\n"
+            "class S3kSearch:\n"
+            "    def search_many(self, queries):\n"
+            "        started = time.perf_counter()\n"
+            "        return time.perf_counter() - started\n"
+        )
+        assert _run_rule_on("determinism", path) == []
 
 
 class TestRuleMetadata:

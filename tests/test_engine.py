@@ -203,11 +203,41 @@ class TestEngineFacade:
         engine = Engine(figure1_instance())
         engine.search("u1", ["degre"], k=3)
         stats = engine.stats()
-        assert set(stats) == {"engine", "result_cache", "connection_index", "batcher"}
+        assert set(stats) == {
+            "engine",
+            "result_cache",
+            "connection_index",
+            "batcher",
+            "exploration",
+        }
         assert stats["engine"]["queries_served"] == 1
         assert stats["result_cache"]["misses"] == 1
         assert stats["connection_index"]["components_built"] >= 1
         assert stats["batcher"] == {}  # async path never used
+        exploration = stats["exploration"]
+        for counter in (
+            "stop_checks_fast",
+            "stop_checks_full",
+            "clean_checks_fast",
+            "clean_checks_full",
+            "bounds_refresh_rows",
+        ):
+            assert counter in exploration
+        # every stop certification is either screened or replayed
+        assert (
+            exploration["stop_checks_fast"] + exploration["stop_checks_full"]
+            >= 1
+        )
+        assert exploration["bounds_refresh_rows"] >= 1
+        for phase in ("step", "discover", "bounds", "clean_stop"):
+            assert f"phase_{phase}_seconds" in exploration
+
+    def test_stats_exploration_zeroed_before_first_query(self):
+        engine = Engine(figure1_instance())
+        exploration = engine.stats()["exploration"]
+        assert exploration == engine.exploration_stats
+        assert exploration  # kernel built eagerly, counters present
+        assert all(value == 0 for value in exploration.values())
 
     def test_run_workload_batched_snapshots_engine_stats(self):
         instance = two_community_instance()

@@ -164,3 +164,45 @@ class TestScoreBound:
         score = S3kScore(eta=0.5)
         assert score.structural_weight(0) == 1.0
         assert score.structural_weight(3) == pytest.approx(0.125)
+
+
+class TestPrecomputedSchedules:
+    """The lazily grown ``tail_bound_at`` / ``threshold_at`` schedules must
+    return the exact bits of the scalar hooks they memoize — the batched
+    exploration loop certifies stops against the schedule values."""
+
+    def test_tail_bound_schedule_matches_scalar_hook(self):
+        score = S3kScore(gamma=1.7)
+        for n in (0, 1, 2, 5, 17, 40):
+            assert score.tail_bound_at(n) == score.prox_tail_bound(n)
+
+    def test_tail_bound_schedule_grows_out_of_order(self):
+        score = S3kScore()
+        late = score.tail_bound_at(9)
+        early = score.tail_bound_at(2)
+        assert late == score.prox_tail_bound(9)
+        assert early == score.prox_tail_bound(2)
+
+    def test_threshold_schedule_matches_scalar_hooks(self):
+        score = S3kScore(gamma=2.0, eta=0.5)
+        weights = (1.5, 2.0)
+        for n in (0, 1, 3, 8, 25):
+            expected = score.score_bound(
+                weights, score.unexplored_source_bound(n)
+            )
+            assert score.threshold_at(weights, n) == expected
+
+    def test_threshold_schedule_keyed_by_weight_bounds(self):
+        score = S3kScore()
+        a = score.threshold_at((1.0,), 4)
+        b = score.threshold_at((2.0, 0.5), 4)
+        assert a == score.score_bound((1.0,), score.unexplored_source_bound(4))
+        assert b == score.score_bound(
+            (2.0, 0.5), score.unexplored_source_bound(4)
+        )
+        # re-asking an already-grown schedule replays the cached value
+        assert score.threshold_at((1.0,), 4) == a
+
+    def test_schedules_accept_list_weight_bounds(self):
+        score = S3kScore()
+        assert score.threshold_at([1.5], 2) == score.threshold_at((1.5,), 2)
