@@ -1,0 +1,80 @@
+"""CI hard gate for the live-mutation bench artifact (ISSUE 10).
+
+Usage::
+
+    python benchmarks/check_live_mutation.py FRESH.json
+
+Reads the ``BENCH_live_mutation.json`` a fresh bench run just emitted
+and fails when the delta-maintenance pipeline violated its contract:
+
+* **delta beats rebuild by >= 5x on I1** — mean per-write kernel patch
+  time against the full kernel + ConnectionIndex rebuild price, same
+  machine, same run.  A ratio, so shared-runner load cannot flake it;
+* **mixed ~1%-write traffic sustains >= 0.5x of read-only qps** — also
+  a same-run ratio: writes must tax the read path, not collapse it;
+* **every write took the delta path** (``delta_fraction`` 1.0) — a
+  silent fallback to full rebuilds would still pass wall-clock floors
+  on a small instance while defeating the entire pipeline;
+* **answers stayed bit-identical to a from-scratch rebuild** — the
+  bench asserts it in-run and records the verdict; throughput from
+  wrong answers does not count.
+
+The bench's own asserts mirror these floors; CI runs the bench
+``continue-on-error`` (absolute timings are noisy on shared runners),
+then blocks the merge on this relative, same-run gate.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+DELTA_VS_REBUILD_FLOOR = 5.0
+MIXED_QPS_FLOOR = 0.5
+
+
+def main(argv) -> int:
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    fresh = json.loads(Path(argv[1]).read_text())
+
+    ratio = float(fresh["delta_vs_rebuild_ratio"])
+    qps_ratio = float(fresh["qps_ratio"])
+    delta_fraction = float(fresh["delta_fraction"])
+    bit_identical = bool(fresh["bit_identical"])
+    print(
+        f"I1 live mutation: delta apply {fresh['delta_apply_ms_mean']} ms vs "
+        f"rebuild {fresh['rebuild_ms']} ms ({ratio:.1f}x), mixed "
+        f"{fresh['mixed_qps']} q/s vs read-only {fresh['read_only_qps']} q/s "
+        f"({qps_ratio:.2f}x), staleness max {fresh['staleness_ms_max']} ms"
+    )
+
+    failures = []
+    if not bit_identical:
+        failures.append("delta-maintained answers diverged from rebuild")
+    if delta_fraction < 1.0:
+        failures.append(
+            f"only {delta_fraction:.0%} of writes took the delta path"
+        )
+    if ratio < DELTA_VS_REBUILD_FLOOR:
+        failures.append(
+            f"delta apply only {ratio:.1f}x faster than rebuild "
+            f"(floor {DELTA_VS_REBUILD_FLOOR}x)"
+        )
+    if qps_ratio < MIXED_QPS_FLOOR:
+        failures.append(
+            f"mixed traffic at {qps_ratio:.2f}x of read-only qps "
+            f"(floor {MIXED_QPS_FLOOR}x)"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("live-mutation gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -127,6 +127,40 @@ class ComponentIndex:
             self._components.append(component)
 
     # ------------------------------------------------------------------
+    # Delta patching (incremental maintenance)
+    #
+    # Both patches are exact re-partitions for their delta shape: a tag
+    # grafts under its subject's existing root and a same-component (or
+    # non-member) comment edge never moves any member between groups, so
+    # the union-find of a from-scratch rebuild would assign identical
+    # roots, hence identical dense idents.  Any other shape (subject not
+    # a member, cross-component comment) returns ``None`` — the caller
+    # must rebuild the partition.
+    # ------------------------------------------------------------------
+    def apply_tag(self, tag) -> Optional[int]:
+        """Graft a new tag into its subject's component; return the ident."""
+        component = self.component_of(tag.subject)
+        if component is None:
+            return None
+        component.tags.add(tag.uri)
+        if tag.keyword is not None:
+            component.keywords.add(coerce_term(tag.keyword))
+        self._component_of[tag.uri] = component.ident
+        return component.ident
+
+    def apply_comment_edge(self, comment: URI, target: URI) -> Optional[int]:
+        """Absorb a new comment edge; return the target's component ident."""
+        component = self.component_of(target)
+        if component is None:
+            return None
+        comment_ident = self._component_of.get(comment)
+        if comment_ident is not None and comment_ident != component.ident:
+            return None  # would merge two components: idents shift
+        if target in component.nodes:
+            component.comment_edges += 1
+        return component.ident
+
+    # ------------------------------------------------------------------
     def component_of(self, uri: URI) -> Optional[Component]:
         """The component containing the document node or tag *uri*."""
         ident = self._component_of.get(uri)

@@ -21,7 +21,9 @@ document trees, node→document mapping, the tag registry and the set Ω.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..documents.document import Document
 from ..rdf.graph import RDFGraph
@@ -48,7 +50,54 @@ from ..rdf.namespaces import (
 )
 from ..rdf.saturation import saturate
 from ..rdf.terms import Literal, Term, URI, coerce_term
+from ..rdf.triples import Triple
 from ..social.tags import Tag
+
+#: Bounded length of the per-instance mutation delta log.  When more
+#: mutations than this accumulate between kernel alignments the chain
+#: breaks and :meth:`S3Instance.deltas_since` reports the gap (``None``),
+#: which consumers treat as "fall back to a full rebuild".
+DELTA_LOG_LIMIT = 1024
+
+
+@dataclass(frozen=True)
+class MutationDelta:
+    """One recorded mutation spanning ``(base_version, version]``.
+
+    Every public mutator appends exactly one delta covering the version
+    range it advanced, so a contiguous chain of deltas is a complete
+    replay of the instance history between two versions.  Nested mutator
+    calls (``add_social_edge`` → ``add_user``) each record their own
+    span, keeping the chain gap-free.
+    """
+
+    base_version: int
+    version: int
+
+
+@dataclass(frozen=True)
+class TagDelta(MutationDelta):
+    """A new tag (Section 2.4) — incrementally propagatable."""
+
+    tag: Tag = None  # type: ignore[assignment]
+    new_triples: Tuple[Triple, ...] = ()
+
+
+@dataclass(frozen=True)
+class CommentEdgeDelta(MutationDelta):
+    """A new ``S3:commentsOn`` edge — incrementally propagatable."""
+
+    comment: URI = None  # type: ignore[assignment]
+    target: URI = None  # type: ignore[assignment]
+    relation: Optional[URI] = None
+    new_triples: Tuple[Triple, ...] = ()
+
+
+@dataclass(frozen=True)
+class OpaqueDelta(MutationDelta):
+    """A mutation with no incremental propagation rule (full rebuild)."""
+
+    operation: str = ""
 
 
 class S3Instance:
@@ -70,6 +119,7 @@ class S3Instance:
         self._tags_on: Dict[URI, List[URI]] = {}
         self._saturated = False
         self._version = 0
+        self._deltas: Deque[MutationDelta] = deque(maxlen=DELTA_LOG_LIMIT)
         self._add_s3_schema()
 
     # ------------------------------------------------------------------
@@ -87,10 +137,12 @@ class S3Instance:
     # ------------------------------------------------------------------
     def add_user(self, user: object) -> URI:
         """Register a user in Ω and type it ``S3:user``."""
+        base = self._version
         uri = URI(user)
         self.users.add(uri)
         self.graph.add(uri, RDF_TYPE, S3_USER)
         self._invalidate()
+        self._record(OpaqueDelta(base, self._version, operation="add_user"))
         return uri
 
     def add_social_edge(
@@ -111,12 +163,14 @@ class S3Instance:
         """
         src = self.add_user(source)
         tgt = self.add_user(target)
+        base = self._version
         if relation is not None:
             rel = URI(relation)
             self.graph.add(rel, RDFS_SUBPROPERTY, S3_SOCIAL)
             self.graph.add(src, rel, tgt, weight)
         self.graph.add(src, S3_SOCIAL, tgt, weight)
         self._invalidate()
+        self._record(OpaqueDelta(base, self._version, operation="add_social_edge"))
 
     # ------------------------------------------------------------------
     # Documents (Section 2.3)
@@ -145,7 +199,9 @@ class S3Instance:
                 self.graph.add(node.uri, S3_CONTAINS, coerce_term(keyword))
         if posted_by is not None:
             self.set_poster(root_uri, posted_by)
+        base = self._version
         self._invalidate()
+        self._record(OpaqueDelta(base, self._version, operation="add_document"))
 
     def set_poster(
         self, doc: object, user: object, relation: Optional[object] = None
@@ -153,6 +209,7 @@ class S3Instance:
         """Record that *user* posted *doc* (``S3:postedBy`` + inverse)."""
         doc_uri = URI(doc)
         user_uri = self.add_user(user)
+        base = self._version
         if relation is not None:
             rel = URI(relation)
             self.graph.add(rel, RDFS_SUBPROPERTY, S3_POSTED_BY)
@@ -160,6 +217,7 @@ class S3Instance:
         self.graph.add(doc_uri, S3_POSTED_BY, user_uri)
         self.graph.add(user_uri, inverse_property(S3_POSTED_BY), doc_uri)
         self._invalidate()
+        self._record(OpaqueDelta(base, self._version, operation="set_poster"))
 
     def add_comment_edge(
         self, comment: object, target: object, relation: Optional[object] = None
@@ -171,15 +229,33 @@ class S3Instance:
         """
         comment_uri = URI(comment)
         target_uri = URI(target)
+        base = self._version
+        new_triples: List[Triple] = []
+
+        def add(s: URI, p: URI, o: Term) -> None:
+            if self.graph.add(s, p, o):
+                new_triples.append(Triple(s, p, o))
+
+        rel_uri: Optional[URI] = None
         if relation is not None:
-            rel = URI(relation)
-            self.graph.add(rel, RDFS_SUBPROPERTY, S3_COMMENTS_ON)
-            self.graph.add(comment_uri, rel, target_uri)
-        self.graph.add(comment_uri, S3_COMMENTS_ON, target_uri)
-        self.graph.add(target_uri, inverse_property(S3_COMMENTS_ON), comment_uri)
+            rel_uri = URI(relation)
+            add(rel_uri, RDFS_SUBPROPERTY, S3_COMMENTS_ON)
+            add(comment_uri, rel_uri, target_uri)
+        add(comment_uri, S3_COMMENTS_ON, target_uri)
+        add(target_uri, inverse_property(S3_COMMENTS_ON), comment_uri)
         self._comments_of.setdefault(target_uri, []).append(comment_uri)
         self._comment_targets.setdefault(comment_uri, []).append(target_uri)
         self._invalidate()
+        self._record(
+            CommentEdgeDelta(
+                base,
+                self._version,
+                comment=comment_uri,
+                target=target_uri,
+                relation=rel_uri,
+                new_triples=tuple(new_triples),
+            )
+        )
 
     # ------------------------------------------------------------------
     # Tags (Section 2.4)
@@ -188,41 +264,66 @@ class S3Instance:
         """Add a tag resource with all its triples (and inverse edges)."""
         if tag.uri in self.tags:
             raise ValueError(f"tag already in instance: {tag.uri}")
+        base = self._version
+        new_triples: List[Triple] = []
+
+        def add(s: URI, p: URI, o: Term) -> None:
+            if self.graph.add(s, p, o):
+                new_triples.append(Triple(s, p, o))
+
         self.tags[tag.uri] = tag
-        self.graph.add(tag.uri, RDF_TYPE, S3_RELATED_TO)
+        add(tag.uri, RDF_TYPE, S3_RELATED_TO)
         if tag.tag_type is not None:
-            self.graph.add(tag.tag_type, RDFS_SUBCLASS, S3_RELATED_TO)
-            self.graph.add(tag.uri, RDF_TYPE, tag.tag_type)
-        self.graph.add(tag.uri, S3_HAS_SUBJECT, tag.subject)
-        self.graph.add(tag.subject, inverse_property(S3_HAS_SUBJECT), tag.uri)
-        self.graph.add(tag.uri, S3_HAS_AUTHOR, tag.author)
-        self.graph.add(tag.author, inverse_property(S3_HAS_AUTHOR), tag.uri)
+            add(tag.tag_type, RDFS_SUBCLASS, S3_RELATED_TO)
+            add(tag.uri, RDF_TYPE, tag.tag_type)
+        add(tag.uri, S3_HAS_SUBJECT, tag.subject)
+        add(tag.subject, inverse_property(S3_HAS_SUBJECT), tag.uri)
+        add(tag.uri, S3_HAS_AUTHOR, tag.author)
+        add(tag.author, inverse_property(S3_HAS_AUTHOR), tag.uri)
         self.users.add(tag.author)
-        self.graph.add(tag.author, RDF_TYPE, S3_USER)
+        add(tag.author, RDF_TYPE, S3_USER)
         if tag.keyword is not None:
-            self.graph.add(tag.uri, S3_HAS_KEYWORD, coerce_term(tag.keyword))
+            add(tag.uri, S3_HAS_KEYWORD, coerce_term(tag.keyword))
         self._tags_on.setdefault(tag.subject, []).append(tag.uri)
         self._invalidate()
+        self._record(
+            TagDelta(base, self._version, tag=tag, new_triples=tuple(new_triples))
+        )
 
     # ------------------------------------------------------------------
     # Knowledge base (Section 2.1)
     # ------------------------------------------------------------------
     def add_knowledge(self, triples: Iterable[Tuple[object, object, object]]) -> None:
         """Bulk-add weight-1 RDF triples (ontology / facts)."""
+        base = self._version
         for s, p, o in triples:
             self.graph.add(URI(s), URI(p), coerce_term(o))
         self._invalidate()
+        self._record(OpaqueDelta(base, self._version, operation="add_knowledge"))
 
     # ------------------------------------------------------------------
     # Saturation
     # ------------------------------------------------------------------
     def saturate(self) -> int:
         """Saturate the instance graph; return the number of added triples."""
+        base = self._version
         added = saturate(self.graph)
         self._saturated = True
         if added:
             self._version += 1
+            self._record(OpaqueDelta(base, self._version, operation="saturate"))
         return added
+
+    def mark_saturated(self) -> None:
+        """Declare the graph closed without a version bump.
+
+        Used after an incremental delta closure
+        (:func:`repro.rdf.saturation.saturate_from`) has brought the graph
+        to the same fixpoint a full :meth:`saturate` would reach: the
+        graph content changed only by entailment, so derived structures
+        aligned through the delta path stay current.
+        """
+        self._saturated = True
 
     @property
     def is_saturated(self) -> bool:
@@ -235,6 +336,38 @@ class S3Instance:
         """Record a mutation: un-saturate and bump the version counter."""
         self._saturated = False
         self._version += 1
+
+    def _record(self, delta: MutationDelta) -> None:
+        self._deltas.append(delta)
+
+    def deltas_since(self, version: int) -> Optional[List[MutationDelta]]:
+        """The contiguous delta chain covering ``(version, current]``.
+
+        Returns ``[]`` when the instance is already at *version*, or
+        ``None`` when the log cannot prove completeness (the chain has a
+        gap, e.g. *version* predates the bounded log) — callers must then
+        fall back to a full rebuild.
+        """
+        if version == self._version:
+            return []
+        collected: List[MutationDelta] = []
+        for delta in reversed(self._deltas):
+            if delta.version <= version:
+                break
+            collected.append(delta)
+            if delta.base_version <= version:
+                break
+        collected.reverse()
+        if not collected:
+            return None
+        if collected[0].base_version != version:
+            return None
+        if collected[-1].version != self._version:
+            return None
+        for prev, nxt in zip(collected, collected[1:]):
+            if nxt.base_version != prev.version:
+                return None
+        return collected
 
     @property
     def version(self) -> int:

@@ -28,6 +28,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 import numpy as np
 from scipy import sparse
 
+from ..rdf.namespaces import NETWORK_EDGE_PROPERTIES
 from ..rdf.terms import URI
 from .instance import S3Instance
 
@@ -71,31 +72,32 @@ class ProximityIndex:
                     edges[uri].append((target_index, weight))
         return edges
 
-    def _build_transition(self) -> None:
-        instance = self._instance
-        own_edges = self._out_edges_by_node()
+    def _merged_row(
+        self, uri: URI, own_edges: Dict[URI, List[Tuple[int, float]]]
+    ) -> Dict[int, float]:
+        """One normalized transition row — shared by full builds and
+        delta patches so both produce bit-identical float sequences."""
+        merged: Dict[int, float] = defaultdict(float)
+        for member in self._instance.vertical_neighborhood(uri):
+            for target_index, weight in own_edges.get(member, ()):
+                merged[target_index] += weight
+        total = sum(merged.values())
+        if total <= 0.0:
+            return {}
+        return {
+            target_index: weight / total for target_index, weight in merged.items()
+        }
 
+    def _matrix_from_rows(self) -> None:
+        """(Re)build the transposed stepping CSR from ``self._rows``."""
         rows: List[int] = []
         cols: List[int] = []
         data: List[float] = []
-        row_dicts: List[Dict[int, float]] = [dict() for _ in self._nodes]
-
-        for uri in self._nodes:
-            v = self._index[uri]
-            merged: Dict[int, float] = defaultdict(float)
-            for member in instance.vertical_neighborhood(uri):
-                for target_index, weight in own_edges.get(member, ()):
-                    merged[target_index] += weight
-            total = sum(merged.values())
-            if total <= 0.0:
-                continue
-            for target_index, weight in merged.items():
-                normalized = weight / total
+        for v, row in enumerate(self._rows):
+            for target_index, normalized in row.items():
                 rows.append(v)
                 cols.append(target_index)
                 data.append(normalized)
-                row_dicts[v][target_index] = normalized
-
         n = len(self._nodes)
         matrix = sparse.csr_matrix(
             (data, (rows, cols)), shape=(n, n), dtype=np.float64
@@ -104,7 +106,14 @@ class ProximityIndex:
         #: single CSR mat-vec.
         self._transition_t = matrix.transpose().tocsr()
         self._transition_t.sort_indices()
+
+    def _build_transition(self) -> None:
+        own_edges = self._out_edges_by_node()
+        row_dicts: List[Dict[int, float]] = [dict() for _ in self._nodes]
+        for uri in self._nodes:
+            row_dicts[self._index[uri]] = self._merged_row(uri, own_edges)
         self._rows = row_dicts
+        self._matrix_from_rows()
 
     # ------------------------------------------------------------------
     # Transition placement (SlabStore hooks)
@@ -139,6 +148,101 @@ class ProximityIndex:
         matrix.has_sorted_indices = True
         matrix.has_canonical_format = True
         self._transition_t = matrix
+
+    # ------------------------------------------------------------------
+    # Delta patching (incremental maintenance)
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self, edge_sources: Iterable[URI]
+    ) -> Tuple[Optional[np.ndarray], np.ndarray]:
+        """Patch the transition after new nodes / network edges appeared.
+
+        *edge_sources* are the subjects of the new (or re-weighted)
+        network-edge triples.  Because the vertical-neighbor relation is
+        symmetric, the rows whose merged out-edges can change are exactly
+        the closed vertical neighborhoods of those sources — every such
+        row (plus every row of a node new to the universe) is recomputed
+        with :meth:`_merged_row`, then the stepping matrix is rebuilt
+        from the row dicts (never writing a possibly-adopted CSR in
+        place).  Returns ``(old_to_new, affected_rows)``: the old→new
+        dense index map when the universe grew (``None`` when indices are
+        unchanged) and the sorted new dense indices of every recomputed
+        row — a query whose exploration never touched one of those rows
+        steps bit-identically before and after the patch.
+
+        The caller must ensure the mutation only *added* universe nodes;
+        a shrunk universe raises ``ValueError`` (fall back to a full
+        rebuild).
+        """
+        instance = self._instance
+        current = instance.network_nodes()
+        added = sorted(uri for uri in current if uri not in self._index)
+        if len(current) != len(self._nodes) + len(added):
+            raise ValueError(
+                "network universe shrank; the proximity index cannot be "
+                "patched incrementally"
+            )
+        old_nodes = self._nodes
+        old_rows = self._rows
+        old_to_new: Optional[np.ndarray] = None
+        if added:
+            self._nodes = sorted(current)
+            self._index = {uri: i for i, uri in enumerate(self._nodes)}
+            old_to_new = np.fromiter(
+                (self._index[uri] for uri in old_nodes),
+                dtype=np.int64,
+                count=len(old_nodes),
+            )
+            new_rows: List[Dict[int, float]] = [dict() for _ in self._nodes]
+            for v, row in enumerate(old_rows):
+                new_rows[int(old_to_new[v])] = {
+                    int(old_to_new[t]): w for t, w in row.items()
+                }
+            self._rows = new_rows
+            # Neighborhood membership is unchanged by node additions
+            # (documents are untouched), only dense indices shifted.
+            self._neigh_cache = {
+                uri: old_to_new[cached]
+                for uri, cached in self._neigh_cache.items()
+            }
+
+        sources: Set[URI] = set(edge_sources)
+        # A node new to the universe also un-filters any pre-existing
+        # network edge pointing at it: the edge's subject rows change too.
+        for uri in added:
+            for wt in instance.graph.triples(obj=uri):
+                if wt.predicate in NETWORK_EDGE_PROPERTIES:
+                    sources.add(wt.subject)
+        affected: Set[URI] = set(added)
+        for source in sources:
+            if source not in self._index:
+                continue
+            affected.update(
+                member
+                for member in instance.vertical_neighborhood(source)
+                if member in self._index
+            )
+        needed: Set[URI] = set()
+        for uri in affected:
+            needed.update(instance.vertical_neighborhood(uri))
+        own_edges: Dict[URI, List[Tuple[int, float]]] = {}
+        for member in needed:
+            entries: List[Tuple[int, float]] = []
+            for target, weight, _pred in instance.network_out_edges(member):
+                target_index = self._index.get(target)
+                if target_index is not None and weight > 0.0:
+                    entries.append((target_index, weight))
+            if entries:
+                own_edges[member] = entries
+        for uri in affected:
+            self._rows[self._index[uri]] = self._merged_row(uri, own_edges)
+        self._matrix_from_rows()
+        affected_rows = np.fromiter(
+            sorted(self._index[uri] for uri in affected),
+            dtype=np.int64,
+            count=len(affected),
+        )
+        return old_to_new, affected_rows
 
     # ------------------------------------------------------------------
     # Border propagation

@@ -29,13 +29,20 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tupl
 
 import numpy as np
 
+from ..rdf.namespaces import (
+    NETWORK_EDGE_PROPERTIES,
+    RDF_TYPE,
+    RDFS_SUBCLASS,
+    RDFS_SUBPROPERTY,
+)
+from ..rdf.saturation import saturate_from
 from ..rdf.terms import Term, URI, coerce_term
 from .components import Component, ComponentIndex
 from .concrete_score import S3kScore
 from .connection_index import ConnectionIndex
 from .connections import ComponentConnections, Connection, resolve_connections
 from .extension import extend_query
-from .instance import S3Instance
+from .instance import CommentEdgeDelta, MutationDelta, S3Instance, TagDelta
 from .prox import ProximityIndex
 from .score import FeasibleScore
 
@@ -164,6 +171,10 @@ class QueryState:
     #: set while the state's layout has grown past the batch-wide layout
     #: snapshot — the state refreshes per-state until the next rebuild
     needs_own_refresh: bool = False
+    #: nonzero rows of ``seen`` captured at batch retirement (``seen``
+    #: itself is dropped with the column views); feeds the result cache's
+    #: scoped delta eviction
+    visited_rows: Optional[np.ndarray] = None
     candidates: Dict[URI, Candidate] = field(default_factory=dict)
     processed: Set[int] = field(default_factory=set)
     candidate_uris: Set[URI] = field(default_factory=set)
@@ -591,6 +602,30 @@ class _LRUDict(OrderedDict):
             self.popitem(last=False)
 
 
+class _ResultMeta:
+    """Delta-eviction footprint of one cached answer.
+
+    Records everything the answer's bits depended on beyond the immutable
+    indexes: the raw query keywords plus every extension atom (keyword
+    extensions and inverted-index lookups), the matching component idents
+    (weight bounds and candidate gathering), and the dense proximity rows
+    the exploration reached (the stepping itself — a row the border never
+    touched cannot change the answer when patched).
+    """
+
+    __slots__ = ("visited", "matching", "terms")
+
+    def __init__(
+        self,
+        visited: np.ndarray,
+        matching: frozenset,
+        terms: frozenset,
+    ) -> None:
+        self.visited = visited
+        self.matching = matching
+        self.terms = terms
+
+
 class _ResultCache:
     """Bounded LRU of finished answers, keyed ``(seeker, keywords,
     semantic, k)``.
@@ -601,7 +636,9 @@ class _ResultCache:
     can be replayed without re-exploring.  Queries carrying a *time_budget*
     or explicit *max_iterations* bypass the cache (their answers depend on
     the budget).  Hit / miss counters feed
-    :func:`repro.eval.reporting.format_counter_table`.
+    :func:`repro.eval.reporting.format_counter_table`.  Each entry carries
+    a :class:`_ResultMeta` footprint so a mutation delta evicts only the
+    answers it can actually change.
     """
 
     __slots__ = ("hits", "misses", "_entries")
@@ -626,15 +663,59 @@ class _ResultCache:
         )
 
     def get(self, key: Tuple) -> Optional[SearchResult]:
-        result = self._entries.get(key)
-        if result is None:
+        entry = self._entries.get(key)
+        if entry is None:
             self.misses += 1
             return None
         self.hits += 1
-        return self._snapshot(result)
+        return self._snapshot(entry[0])
 
-    def put(self, key: Tuple, result: SearchResult) -> None:
-        self._entries[key] = self._snapshot(result)
+    def put(
+        self,
+        key: Tuple,
+        result: SearchResult,
+        meta: Optional[_ResultMeta] = None,
+    ) -> None:
+        self._entries[key] = (self._snapshot(result), meta)
+
+    def apply_delta(
+        self,
+        stale_terms: Set[Term],
+        touched: Set[int],
+        affected_rows: np.ndarray,
+        old_to_new: Optional[np.ndarray],
+    ) -> int:
+        """Scoped eviction after a mutation delta; returns entries dropped.
+
+        An answer is dropped when its footprint intersects the delta —
+        its terms meet a new schema object or tag keyword, its matching
+        components were patched, or its exploration visited a recomputed
+        transition row.  Survivors get their visited rows remapped into
+        the grown universe's index space; entries without a footprint are
+        dropped unconditionally.
+        """
+        stale_keys: List[Tuple] = []
+        for key, entry in list(self._entries.items()):
+            meta = entry[1]
+            if meta is None:
+                stale_keys.append(key)
+                continue
+            if meta.terms & stale_terms or meta.matching & touched:
+                stale_keys.append(key)
+                continue
+            visited = meta.visited
+            if old_to_new is not None and visited.size:
+                visited = old_to_new[visited]
+                meta.visited = visited
+            if (
+                visited.size
+                and affected_rows.size
+                and np.isin(visited, affected_rows).any()
+            ):
+                stale_keys.append(key)
+        for key in stale_keys:
+            del self._entries[key]
+        return len(stale_keys)
 
     def clear(self) -> None:
         self._entries.clear()
@@ -881,6 +962,234 @@ class S3kSearch:
                     self._index_component[index] = component.ident
         #: encoding stride for batch-wide (row, component) discovery pairs
         self._component_stride = max(int(self._index_component.max()) + 1, 1)
+
+    # ------------------------------------------------------------------
+    # Delta maintenance (incremental index patching)
+    # ------------------------------------------------------------------
+    def apply_deltas(
+        self, deltas: Sequence[MutationDelta]
+    ) -> Optional[Dict[str, object]]:
+        """Re-align every index and cache with a batch of typed deltas.
+
+        Returns a patch-info dict on success, or ``None`` when some delta
+        is not incrementally expressible — an untyped mutation, a tag
+        whose subject starts a fresh component, a comment edge merging
+        two components, a derived network edge, or a shrunk universe.
+        After a ``None`` return the kernel may be partially patched and
+        must be discarded for a from-scratch rebuild (which the engine's
+        fallback path does).
+
+        On success every derived structure — component partition,
+        proximity transition, connection slabs, keyword indexes — equals
+        what a from-scratch build against the mutated instance would
+        produce, bit for bit (the oracle sweep asserts this), and the
+        result / plan caches are scoped-evicted instead of flushed: only
+        entries whose terms, matching components or visited rows
+        intersect the delta are dropped.
+        """
+        started = time.perf_counter()
+        instance = self.instance
+
+        # -- gate: purely structural checks, nothing mutated yet ---------
+        pending: Dict[URI, int] = {}
+
+        def member_ident(uri: URI) -> Optional[int]:
+            component = self.component_index.component_of(uri)
+            if component is not None:
+                return component.ident
+            return pending.get(uri)
+
+        for delta in deltas:
+            if isinstance(delta, TagDelta):
+                ident = member_ident(delta.tag.subject)
+                if ident is None:
+                    return None  # fresh component: dense idents would shift
+                pending[delta.tag.uri] = ident
+            elif isinstance(delta, CommentEdgeDelta):
+                ident = member_ident(delta.target)
+                if ident is None:
+                    return None  # ditto: target outside the partition
+                comment_ident = member_ident(delta.comment)
+                if comment_ident is not None and comment_ident != ident:
+                    return None  # cross-component edge: components merge
+            else:
+                return None  # opaque mutation: no propagation rule
+
+        # -- incremental closure -----------------------------------------
+        frontier = [
+            triple for delta in deltas for triple in delta.new_triples
+        ]
+        derived = saturate_from(instance.graph, frontier)
+        instance.mark_saturated()
+        for triple in derived:
+            if triple.predicate in NETWORK_EDGE_PROPERTIES:
+                # Entailment created a social-universe edge the typed
+                # patches below do not model.
+                return None
+        stale_terms: Set[Term] = set()
+        for triple in [*frontier, *derived]:
+            if triple.predicate in (RDF_TYPE, RDFS_SUBCLASS, RDFS_SUBPROPERTY):
+                # Exactly the lookups Ext(k) makes: a cached extension can
+                # only change if one of its raw keywords gained a subject.
+                stale_terms.add(triple.object)
+        new_keywords: Set[Term] = set()
+        for delta in deltas:
+            if isinstance(delta, TagDelta) and delta.tag.keyword is not None:
+                new_keywords.add(coerce_term(delta.tag.keyword))
+
+        # -- patch the component partition -------------------------------
+        touched: Set[int] = set()
+        for delta in deltas:
+            if isinstance(delta, TagDelta):
+                ident = self.component_index.apply_tag(delta.tag)
+            else:
+                ident = self.component_index.apply_comment_edge(
+                    delta.comment, delta.target
+                )
+            if ident is None:  # pragma: no cover - the gate rejects these
+                return None
+            touched.add(ident)
+
+        # -- patch the proximity transition ------------------------------
+        edge_sources = {
+            triple.subject
+            for triple in frontier
+            if triple.predicate in NETWORK_EDGE_PROPERTIES
+        }
+        try:
+            old_to_new, affected_rows = self.prox_index.apply_delta(
+                edge_sources
+            )
+        except ValueError:
+            return None
+
+        # -- re-align the connection slabs -------------------------------
+        patch_info: Dict[str, object] = {"components_patched": 0}
+        if self.connection_index is not None:
+            patch_info.update(self.connection_index.apply_delta(touched))
+
+        # -- patch the keyword / component summaries ---------------------
+        for delta in deltas:
+            if isinstance(delta, TagDelta) and delta.tag.keyword is not None:
+                term = coerce_term(delta.tag.keyword)
+                # Appending in delta order matches the insertion order a
+                # rebuild reads out of ``instance.tags``.
+                self._keyword_tags.setdefault(term, []).append(delta.tag.uri)
+        for ident in touched:
+            component = self.component_index.component(ident)
+            n_targets = sum(
+                1 for node in component.nodes if instance.comments_on(node)
+            )
+            self._component_stats[ident] = (
+                len(component.tags),
+                len(component.roots),
+                n_targets,
+            )
+        if old_to_new is not None:
+            remapped = np.full(self.prox_index.size, -1, dtype=np.int64)
+            remapped[old_to_new] = self._index_component
+            self._index_component = remapped
+        for delta in deltas:
+            if isinstance(delta, TagDelta):
+                index = self.prox_index.node_index_of(delta.tag.uri)
+                if index is not None:
+                    member = self.component_index.component_of(delta.tag.uri)
+                    self._index_component[index] = member.ident
+        # No component was created or merged, so the stride is unchanged.
+
+        # -- scoped cache eviction ---------------------------------------
+        evicted = self._evict_stale_plans(
+            stale_terms, new_keywords, touched, old_to_new
+        )
+        if self._result_cache is not None:
+            evicted += self._result_cache.apply_delta(
+                stale_terms | new_keywords, touched, affected_rows, old_to_new
+            )
+        self._caches_version = instance.version
+
+        patch_info["deltas_applied"] = len(deltas)
+        patch_info["components_touched"] = len(touched)
+        patch_info["cache_entries_evicted"] = evicted
+        patch_info["patch_seconds"] = time.perf_counter() - started
+        return patch_info
+
+    def _evict_stale_plans(
+        self,
+        stale_terms: Set[Term],
+        new_keywords: Set[Term],
+        touched: Set[int],
+        old_to_new: Optional[np.ndarray],
+    ) -> int:
+        """Scoped plan-cache eviction for one delta batch.
+
+        Extension entries are dropped only when a new schema triple's
+        object is one of the key's *raw* keywords — ``Ext(k)`` looks up
+        exactly those objects, so a pure comment-edge delta (empty
+        ``stale_terms`` ∩ keywords, no new tag keyword) leaves every
+        extension untouched.  Matching sets and weight bounds fall when
+        their upstream fell, when a new tag keyword enters the key's
+        extension atoms, or when a touched component feeds the bounds;
+        per-component candidate plans fall with their component.
+        Surviving component layouts get their dense source-index runs
+        remapped when the proximity universe grew.
+        """
+        cache = self._plan_cache
+        if cache is None:
+            return 0
+        evicted = 0
+        stale_keys: Set[Tuple] = set()
+        for key in list(cache.extensions):
+            keywords, _semantic = key
+            if stale_terms.intersection(keywords):
+                stale_keys.add(key)
+                del cache.extensions[key]
+                evicted += 1
+        if new_keywords or stale_keys:
+            for key in list(cache.matching):
+                extensions = (
+                    None if key in stale_keys else cache.extensions.get(key)
+                )
+                if extensions is None:
+                    # Upstream evicted (or LRU-dropped: unverifiable).
+                    del cache.matching[key]
+                    evicted += 1
+                    continue
+                if new_keywords and any(
+                    extension & new_keywords
+                    for extension in extensions.values()
+                ):
+                    del cache.matching[key]
+                    evicted += 1
+        for key in list(cache.weight_bounds):
+            matching = cache.matching.get(key)
+            if matching is None or (touched and matching & touched):
+                del cache.weight_bounds[key]
+                evicted += 1
+        for store in (cache.component_candidates, cache.component_layouts):
+            for entry_key in list(store):
+                ident, key = entry_key
+                if ident in touched or key in stale_keys:
+                    del store[entry_key]
+                    evicted += 1
+        if old_to_new is not None:
+            for layout in cache.component_layouts.values():
+                # Fresh array assignment — adopted block arrays are shared
+                # read-only across states and never written in place.
+                layout.source_concat = old_to_new[layout.source_concat]
+        return evicted
+
+    def _result_meta(self, state: QueryState) -> _ResultMeta:
+        """Eviction footprint of a finished query (see :class:`_ResultMeta`)."""
+        if state.visited_rows is not None:
+            visited = state.visited_rows
+        elif state.seen is not None:
+            visited = np.flatnonzero(state.seen)
+        else:
+            visited = np.empty(0, dtype=np.intp)
+        terms: Set[Term] = set(state.keywords)
+        for extension in state.extensions.values():
+            terms.update(extension)
+        return _ResultMeta(visited, frozenset(state.matching), frozenset(terms))
 
     # ------------------------------------------------------------------
     # Query-time helpers
@@ -2003,7 +2312,7 @@ class S3kSearch:
             self._absorb_step(state, cache=self._plan_cache)
         result = self._finish(state)
         if cache_key is not None:
-            self._result_cache.put(cache_key, result)
+            self._result_cache.put(cache_key, result, self._result_meta(state))
         return result
 
     def search_many(
@@ -2213,6 +2522,9 @@ class S3kSearch:
                         # Retired rows are never read again; dropping the
                         # views releases this iteration's stepped matrix
                         # and, after compaction, the old row matrices.
+                        # The visited-row footprint outlives the views for
+                        # the result cache's scoped delta eviction.
+                        state.visited_rows = np.flatnonzero(state.seen)
                         state.border = None
                         state.accumulated = None
                         state.seen = None
@@ -2235,7 +2547,9 @@ class S3kSearch:
                 semantic_key, max_iterations_key, time_budget_key = settings
                 if max_iterations_key is None and time_budget_key is None:
                     self._result_cache.put(
-                        (seeker_key, keywords_key, semantic_key, k_key), result
+                        (seeker_key, keywords_key, semantic_key, k_key),
+                        result,
+                        self._result_meta(unique_states[key]),
                     )
         finished.update(replayed)
         results: List[SearchResult] = []

@@ -24,7 +24,12 @@ from .batcher import Batcher, Served
 from .errors import ShardUnavailableError, classify_error, error_payload
 from .facade import Engine, EngineConfig
 from .http import FaultInjector, HttpConfig, HttpServer, run_http_server
-from .request import QueryRequest, QueryResponse
+from .request import (
+    MutationRequest,
+    MutationResponse,
+    QueryRequest,
+    QueryResponse,
+)
 from .serve import run_serve, serve_lines
 from .sharded import ShardedEngine
 from ..core.connection_index import StaleIndexError
@@ -38,6 +43,8 @@ __all__ = [
     "Served",
     "QueryRequest",
     "QueryResponse",
+    "MutationRequest",
+    "MutationResponse",
     "StaleIndexError",
     "serve_lines",
     "run_serve",

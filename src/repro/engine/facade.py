@@ -45,7 +45,12 @@ from ..core.search import S3kSearch, SearchResult
 from ..social.tags import Tag
 from ..storage.sqlite_store import SQLiteStore
 from .batcher import DEFAULT_MAX_BATCH_SIZE, DEFAULT_MAX_DELAY, Batcher
-from .request import QueryRequest, QueryResponse
+from .request import (
+    MutationRequest,
+    MutationResponse,
+    QueryRequest,
+    QueryResponse,
+)
 
 __all__ = ["Engine", "EngineConfig", "StaleIndexError"]
 
@@ -120,6 +125,14 @@ class Engine:
         self._kernel_rebuilds = 0
         self._slabs_persisted = 0
         self._slabs_adopted = 0
+        #: incremental-maintenance counters (the ``maintenance`` stats block)
+        self._maintenance: Dict[str, float] = {
+            "mutations_applied": 0,
+            "deltas_applied": 0,
+            "components_patched": 0,
+            "fallback_rebuilds": 0,
+            "patch_wall_seconds": 0.0,
+        }
         #: counters of batchers retired by event-loop changes
         self._batch_totals: Dict[str, float] = {}
         self._ensure_kernel()
@@ -180,21 +193,49 @@ class Engine:
     # ------------------------------------------------------------------
     @property
     def kernel(self) -> S3kSearch:
-        """The current compute kernel (rebuilt after instance mutations)."""
+        """The current compute kernel (re-aligned after instance mutations)."""
         return self._ensure_kernel()
 
-    def _ensure_kernel(self) -> S3kSearch:
-        """(Re)build the kernel when the instance moved underneath it.
+    @property
+    def kernel_version(self) -> int:
+        """Instance version the current kernel is aligned with (-1 before
+        the first build).  Running behind :attr:`S3Instance.version` is
+        the pending-maintenance signal; reading it never triggers a
+        rebuild."""
+        return self._kernel_version
 
-        The kernel's own result / plan caches and ConnectionIndex slabs
-        self-invalidate on :attr:`S3Instance.version`, but its structural
-        indexes (proximity matrix, component partition, keyword inverted
-        indexes) are built once per :class:`S3kSearch` — so the facade
-        replaces the whole kernel, which is the only way to serve fully
-        up-to-date answers after a mutation.
+    def _ensure_kernel(self) -> S3kSearch:
+        """Re-align the kernel when the instance moved underneath it.
+
+        Delta-first: when the instance's mutation log covers the gap with
+        typed deltas, the existing kernel is patched in place
+        (:meth:`S3kSearch.apply_deltas`) — copy-on-patch over the
+        untouched components and scoped cache eviction.  Only when a
+        delta is inexpressible (opaque mutation, component merge, log
+        gap) does the facade fall back to replacing the whole kernel,
+        which is counted as a ``fallback_rebuild``.
         """
         if self._kernel is not None and self._kernel_version == self.instance.version:
             return self._kernel
+        if self._kernel is not None and self._kernel_version >= 0:
+            deltas = self.instance.deltas_since(self._kernel_version)
+            if deltas:
+                started = time.perf_counter()
+                info = self._kernel.apply_deltas(deltas)
+                if info is not None:
+                    maintenance = self._maintenance
+                    maintenance["deltas_applied"] += int(
+                        info.get("deltas_applied", 0)
+                    )
+                    maintenance["components_patched"] += int(
+                        info.get("components_patched", 0)
+                    )
+                    maintenance["patch_wall_seconds"] += (
+                        time.perf_counter() - started
+                    )
+                    self._kernel_version = self.instance.version
+                    return self._kernel
+            self._maintenance["fallback_rebuilds"] += 1
         # The warm index is consumed by the first build only; rebuilds get
         # a fresh ConnectionIndex (the component partition may have moved).
         connection_index = self._initial_connection_index
@@ -251,6 +292,65 @@ class Engine:
         self, source: object, target: object, weight: float, **kwargs
     ) -> None:
         self.instance.add_social_edge(source, target, weight, **kwargs)
+
+    # -- the typed write path (live mutate/query serving) ----------------
+    def mutate(self, mutation: object) -> MutationResponse:
+        """Apply one typed write and re-align the kernel immediately.
+
+        Accepts anything :meth:`MutationRequest.from_obj` understands.
+        Unlike the bare ``add_*`` facade methods (which leave the kernel
+        stale until the next answer), this applies the mutation *and*
+        runs the maintenance step under the same serialization as the
+        query path, so the response's ``version`` is the first one
+        answers can observe — and reports whether the kernel was patched
+        incrementally (``mode="delta"``) or rebuilt.
+        """
+        request = MutationRequest.from_obj(mutation)
+        return self._run_serialized(lambda: self._apply_mutation(request))
+
+    async def amutate(self, mutation: object) -> MutationResponse:
+        """Async :meth:`mutate`: runs on the single serving worker, so
+        writes serialize with in-flight query micro-batches."""
+        import asyncio
+
+        request = MutationRequest.from_obj(mutation)
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-engine"
+            )
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(
+                self._executor, self._apply_mutation, request
+            )
+        except RuntimeError:  # executor already shut down: no async work
+            return self._apply_mutation(request)
+
+    def _apply_mutation(self, request: MutationRequest) -> MutationResponse:
+        """Instance write + kernel maintenance (runs on the worker)."""
+        started = time.perf_counter()
+        if request.op == "add_tag":
+            self.instance.add_tag(request.to_tag())
+        else:
+            self.instance.add_comment_edge(
+                request.comment, request.target, request.relation
+            )
+        deltas_before = self._maintenance["deltas_applied"]
+        patched_before = self._maintenance["components_patched"]
+        self._ensure_kernel()
+        self._maintenance["mutations_applied"] += 1
+        # A cold first build and an inexpressible-delta fallback both
+        # count as "rebuild": only an actually consumed delta is one.
+        delta_applied = self._maintenance["deltas_applied"] > deltas_before
+        return MutationResponse(
+            request=request,
+            version=self.instance.version,
+            mode="delta" if delta_applied else "rebuild",
+            components_patched=int(
+                self._maintenance["components_patched"] - patched_before
+            ),
+            latency_seconds=time.perf_counter() - started,
+        )
 
     # ------------------------------------------------------------------
     # Request plumbing
@@ -459,7 +559,9 @@ class Engine:
         """Every serving counter in one place.
 
         Sections: ``engine`` (served queries, kernel rebuilds, instance
-        version), ``result_cache`` (hit / miss / occupancy),
+        version), ``maintenance`` (writes applied, deltas consumed,
+        components patched, fallback rebuilds, patch wall seconds),
+        ``result_cache`` (hit / miss / occupancy),
         ``connection_index`` (slab counts incl. persisted / adopted,
         size, build time), ``batcher`` (flush and collapse counters,
         aggregated across retired event loops) and ``exploration``
@@ -496,6 +598,10 @@ class Engine:
                 "kernel_rebuilds": self._kernel_rebuilds,
                 "instance_version": self.instance.version,
                 "kernel_version": self._kernel_version,
+            },
+            "maintenance": {
+                name: (round(value, 6) if name == "patch_wall_seconds" else value)
+                for name, value in self._maintenance.items()
             },
             "result_cache": dict(self.cache_stats),
             "connection_index": connection,

@@ -8,6 +8,12 @@ stdlib ``asyncio`` streams (no framework, no extra dependency):
   mapping body, or a batch envelope ``{"queries": [...]}``; answers are
   the ``QueryResponse.to_dict()`` records of the JSONL ``serve`` loop,
   so the wire format is identical across front-ends;
+* ``POST /mutate`` — one
+  :class:`~repro.engine.request.MutationRequest` mapping body
+  (``{"op": "add_tag", ...}``); the write is applied and the kernel
+  re-aligned — via the delta pipeline when expressible — before the
+  200 acknowledgement, under the same admission control, deadlines and
+  error shaping as ``/search``;
 * ``GET /stats`` — the engine's merged counters plus the server's own;
 * ``GET /healthz`` — liveness for load balancers: 200 when serving,
   503 while draining or when the persisted index slabs are stale.
@@ -59,7 +65,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from .errors import classify_error, error_payload
 from .facade import Engine, StaleIndexError
-from .request import QueryRequest
+from .request import MutationRequest, QueryRequest
 
 __all__ = [
     "HttpConfig",
@@ -86,7 +92,12 @@ _REASONS = {
     504: "Gateway Timeout",
 }
 
-_ROUTES = {"/search": "POST", "/stats": "GET", "/healthz": "GET"}
+_ROUTES = {
+    "/search": "POST",
+    "/mutate": "POST",
+    "/stats": "GET",
+    "/healthz": "GET",
+}
 
 #: Refuse absurd bodies outright (a batch of thousands of queries
 #: should arrive as several requests that admission control can meter).
@@ -237,6 +248,7 @@ class HttpServer:
         self.counters: Dict[str, int] = {
             "requests": 0,
             "queries_answered": 0,
+            "mutations_applied": 0,
             "rejected_429": 0,
             "deadline_504": 0,
             "draining_503": 0,
@@ -530,6 +542,8 @@ class HttpServer:
             return self._healthz()
         if path == "/stats":
             return self._stats()
+        if path == "/mutate":
+            return await self._mutate(headers, body)
         return await self._search(headers, body)
 
     def _healthz(self) -> Tuple[int, Dict[str, object], Dict[str, str]]:
@@ -720,6 +734,103 @@ class HttpServer:
         record = response.to_dict()
         record["id"] = item_id
         return record
+
+    # ------------------------------------------------------------------
+    # /mutate
+    # ------------------------------------------------------------------
+    async def _mutate(
+        self, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, Dict[str, object], Dict[str, str]]:
+        """One write, under the same admission control as ``/search``.
+
+        A mutation occupies one admission slot while the delta (or
+        fallback rebuild) propagates, so a write burst is metered by the
+        same 429 backpressure as a read burst.  Deadlines map onto
+        ``asyncio.wait_for`` exactly like query deadlines — note a 504
+        abandons the *wait*, not the write: the mutation may still
+        commit after the deadline answer (at-most-once is the client's
+        retry contract via idempotent tag/edge URIs).
+        """
+        request_id: object = (
+            headers.get("x-request-id") or f"req-{next(self._request_ids)}"
+        )
+        extra = {"x-request-id": str(request_id)}
+        if self.failure is not None:
+            self.counters["errors"] += 1
+            return 503, error_payload(self.failure, request_id), extra
+        if self._draining:
+            self.counters["draining_503"] += 1
+            payload = {
+                "error": {
+                    "type": "draining",
+                    "status": 503,
+                    "message": "server is draining; retry against another replica",
+                },
+                "id": request_id,
+            }
+            return 503, payload, extra
+        try:
+            payload_obj = json.loads(body.decode("utf-8")) if body else None
+            if not isinstance(payload_obj, dict):
+                raise TypeError(
+                    "the request body must be a JSON mutation mapping "
+                    "with an 'op' field"
+                )
+            if "id" in payload_obj and "x-request-id" not in headers:
+                request_id = payload_obj["id"]
+                extra["x-request-id"] = str(request_id)
+            deadline = self._deadline_of(headers, payload_obj)
+            request = MutationRequest.from_obj(payload_obj)
+        except Exception as exc:  # noqa: BLE001 - shaped below
+            self.counters["errors"] += 1
+            return classify_error(exc)[0], error_payload(exc, request_id), extra
+        if (
+            self.faults.force_queue_full
+            or self._inflight + 1 > self.config.max_inflight
+        ):
+            self.counters["rejected_429"] += 1
+            payload = {
+                "error": {
+                    "type": "overloaded",
+                    "status": 429,
+                    "message": (
+                        f"admission queue full "
+                        f"({self._inflight}/{self.config.max_inflight} in flight)"
+                    ),
+                },
+                "id": request_id,
+            }
+            extra["retry-after"] = str(self.config.retry_after)
+            return 429, payload, extra
+        async with self._state:
+            self._inflight += 1
+            self.counters["peak_inflight"] = max(
+                self.counters["peak_inflight"], self._inflight
+            )
+            self._state.notify_all()
+        try:
+            try:
+                if deadline is not None:
+                    response = await asyncio.wait_for(
+                        self.engine.amutate(request), timeout=deadline
+                    )
+                else:
+                    response = await self.engine.amutate(request)
+            except Exception as exc:  # noqa: BLE001 - shaped below
+                status = classify_error(exc)[0]
+                if status == 504:
+                    self.counters["deadline_504"] += 1
+                else:
+                    self.counters["errors"] += 1
+                return status, error_payload(exc, request_id), extra
+            self.counters["mutations_applied"] += 1
+            record = response.to_dict()
+            record["id"] = request_id
+            return 200, record, extra
+        finally:
+            async with self._state:
+                self._inflight -= 1
+                self._state.notify_all()
 
 
 # ----------------------------------------------------------------------

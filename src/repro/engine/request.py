@@ -23,6 +23,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..core.search import SearchResult, _normalize_keywords
 from ..rdf.terms import Term, URI
+from ..social.tags import Tag
 
 
 @dataclass(frozen=True)
@@ -160,6 +161,144 @@ class QueryRequest:
 
 
 _REQUEST_KEYS = {f.name for f in fields(QueryRequest)}
+
+
+@dataclass(frozen=True)
+class MutationRequest:
+    """One normalized write: a new tag or a new comment edge.
+
+    The two ops mirror the incrementally propagatable
+    :class:`~repro.core.instance.MutationDelta` shapes — anything else
+    must go through the instance API directly (and pays a full kernel
+    rebuild).  Construction canonicalizes every node reference to a
+    :class:`~repro.rdf.terms.URI`, so a request is picklable and
+    identical across the sharded broadcast.
+    """
+
+    op: str
+    #: ``add_tag`` fields
+    uri: Optional[URI] = None
+    subject: Optional[URI] = None
+    author: Optional[URI] = None
+    keyword: Optional[str] = None
+    tag_type: Optional[URI] = None
+    #: ``add_comment_edge`` fields
+    comment: Optional[URI] = None
+    target: Optional[URI] = None
+    relation: Optional[URI] = None
+
+    def __post_init__(self) -> None:
+        if self.op == "add_tag":
+            if self.uri is None or self.subject is None or self.author is None:
+                raise ValueError(
+                    "an add_tag mutation needs 'uri', 'subject' and 'author'"
+                )
+            object.__setattr__(self, "uri", URI(self.uri))
+            object.__setattr__(self, "subject", URI(self.subject))
+            object.__setattr__(self, "author", URI(self.author))
+            if self.tag_type is not None:
+                object.__setattr__(self, "tag_type", URI(self.tag_type))
+            if self.keyword is not None:
+                object.__setattr__(self, "keyword", str(self.keyword))
+        elif self.op == "add_comment_edge":
+            if self.comment is None or self.target is None:
+                raise ValueError(
+                    "an add_comment_edge mutation needs 'comment' and 'target'"
+                )
+            object.__setattr__(self, "comment", URI(self.comment))
+            object.__setattr__(self, "target", URI(self.target))
+            if self.relation is not None:
+                object.__setattr__(self, "relation", URI(self.relation))
+        else:
+            raise ValueError(
+                f"unknown mutation op {self.op!r}; "
+                "expected 'add_tag' or 'add_comment_edge'"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_obj(cls, obj: object) -> "MutationRequest":
+        """Normalize a request object or a JSON mapping (the wire shape)."""
+        if isinstance(obj, cls):
+            return obj
+        if isinstance(obj, Mapping):
+            if "op" not in obj:
+                raise ValueError(
+                    f"a mutation mapping needs an 'op' field, got {sorted(obj)!r}"
+                )
+            unknown = set(obj) - _MUTATION_KEYS - {"id"}
+            if unknown:
+                raise ValueError(
+                    f"unknown mutation fields {sorted(unknown)!r}; "
+                    f"expected a subset of {sorted(_MUTATION_KEYS)}"
+                )
+            return cls(**{key: obj[key] for key in obj if key != "id"})
+        raise TypeError(
+            "mutations must be MutationRequest objects or mappings with an "
+            f"'op' field, got {obj!r}"
+        )
+
+    def to_tag(self) -> Tag:
+        """The :class:`Tag` an ``add_tag`` request describes."""
+        if self.op != "add_tag":
+            raise ValueError(f"not an add_tag mutation: {self.op!r}")
+        return Tag(
+            uri=self.uri,
+            subject=self.subject,
+            author=self.author,
+            keyword=self.keyword,
+            tag_type=self.tag_type,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable echo of the mutation."""
+        payload: Dict[str, object] = {"op": self.op}
+        for name in (
+            "uri",
+            "subject",
+            "author",
+            "keyword",
+            "tag_type",
+            "comment",
+            "target",
+            "relation",
+        ):
+            value = getattr(self, name)
+            if value is not None:
+                payload[name] = str(value)
+        return payload
+
+
+_MUTATION_KEYS = {f.name for f in fields(MutationRequest)}
+
+
+@dataclass
+class MutationResponse:
+    """Outcome of one applied mutation."""
+
+    request: MutationRequest
+    #: instance version after the write
+    version: int
+    #: how the kernel re-aligned: ``"delta"`` (incremental patch) or
+    #: ``"rebuild"`` (full fallback)
+    mode: str
+    #: connection-index slabs rebuilt by the delta path (0 on rebuild)
+    components_patched: int = 0
+    #: submission-to-applied latency observed by the serving layer, seconds
+    latency_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSONL record the ``serve`` subcommand emits per mutation."""
+        payload = self.request.to_dict()
+        payload.update(
+            {
+                "version": self.version,
+                "mode": self.mode,
+                "components_patched": self.components_patched,
+                "latency_ms": round(self.latency_seconds * 1e3, 3),
+            }
+        )
+        return payload
 
 
 @dataclass

@@ -9,6 +9,15 @@ traffic would — and writes one JSON response per answer as it
 completes.  Responses carry the request ``id`` (defaulting to the input
 line ordinal), so out-of-order completion is fine for callers.
 
+A line carrying an ``"op"`` field is a **mutation** (the
+:meth:`~repro.engine.request.MutationRequest.from_obj` mapping shape,
+e.g. ``{"op": "add_tag", "uri": ..., "subject": ..., "author": ...,
+"keyword": ...}``): it goes to :meth:`Engine.amutate`, which applies
+the write and re-aligns the kernel — incrementally when the delta
+pipeline can express it — before the acknowledgement record (carrying
+the new ``version`` and the ``mode``, ``delta`` or ``rebuild``) is
+written.
+
 A malformed line produces a structured ``{"id": ..., "error": {"type":
 ..., "status": ..., "message": ...}}`` record — shaped by the same
 :mod:`repro.engine.errors` helper the HTTP tier answers with — instead
@@ -23,7 +32,7 @@ from typing import Callable, Dict, Iterable, Optional
 
 from .errors import error_payload
 from .facade import Engine
-from .request import QueryRequest
+from .request import MutationRequest, QueryRequest
 
 __all__ = ["serve_lines", "run_serve"]
 
@@ -39,7 +48,7 @@ async def serve_lines(
     # Completed tasks prune themselves: a long-lived stream must not
     # accumulate one finished Task per request forever.
     tasks: set = set()
-    counters = {"requests": 0, "answered": 0, "errors": 0}
+    counters = {"requests": 0, "answered": 0, "mutated": 0, "errors": 0}
 
     async def answer(ordinal: int, line: str) -> None:
         identifier: object = ordinal
@@ -47,18 +56,27 @@ async def serve_lines(
             payload = json.loads(line)
             if isinstance(payload, dict):
                 identifier = payload.get("id", ordinal)
-            request = QueryRequest.from_obj(
-                payload,
-                default_k=(
-                    default_k if default_k is not None else engine.config.default_k
-                ),
-            )
-            response = await engine.asearch(request)
+            if isinstance(payload, dict) and "op" in payload:
+                response = await engine.amutate(
+                    MutationRequest.from_obj(payload)
+                )
+                counter = "mutated"
+            else:
+                request = QueryRequest.from_obj(
+                    payload,
+                    default_k=(
+                        default_k
+                        if default_k is not None
+                        else engine.config.default_k
+                    ),
+                )
+                response = await engine.asearch(request)
+                counter = "answered"
         except Exception as exc:  # noqa: BLE001 - serve loops must not die
             counters["errors"] += 1
             write(json.dumps(error_payload(exc, request_id=identifier)) + "\n")
             return
-        counters["answered"] += 1
+        counters[counter] += 1
         record = response.to_dict()
         record["id"] = identifier
         write(json.dumps(record) + "\n")

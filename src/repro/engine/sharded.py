@@ -63,7 +63,12 @@ from typing import Dict, List, Optional, Sequence
 
 from .errors import ShardUnavailableError
 from .facade import Engine, EngineConfig, _merge_batcher_counters
-from .request import QueryRequest, QueryResponse
+from .request import (
+    MutationRequest,
+    MutationResponse,
+    QueryRequest,
+    QueryResponse,
+)
 
 __all__ = ["ShardedEngine", "ShardUnavailableError", "route_shard"]
 
@@ -124,6 +129,28 @@ def _worker_loop(conn, engine: Engine, worker_index: int, max_batch: int) -> Non
     served = 0
     die_on_next_search = False
     stop = False
+
+    def flush(searches: List) -> int:
+        """Answer the accumulated searches in one lock-step call."""
+        if not searches:
+            return 0
+        requests = [request for _rid, request in searches]
+        try:
+            results = engine._search_requests(requests)
+            for (rid, _request), result in zip(searches, results):
+                conn.send(("ok", rid, (result, len(requests))))
+        except Exception:  # noqa: BLE001 - isolate the poisoned request
+            # One bad request (unknown seeker, ...) poisons the
+            # lock-step call; re-run individually so its co-batched
+            # neighbors still answer, like the Batcher's fallback.
+            for rid, request in searches:
+                try:
+                    result = engine._search_requests([request])[0]
+                    conn.send(("ok", rid, (result, 1)))
+                except Exception as exc:  # noqa: BLE001 - shaped upstream
+                    conn.send(("err", rid, _picklable(exc)))
+        return len(searches)
+
     while not stop:
         try:
             batch = [conn.recv()]
@@ -141,6 +168,16 @@ def _worker_loop(conn, engine: Engine, worker_index: int, max_batch: int) -> Non
                 if die_on_next_search:
                     os._exit(17)  # test crash hook: die holding requests
                 searches.append((rid, payload))
+            elif kind == "mutate":
+                # A write is ordered after every search already drained
+                # from the pipe, so co-batched queries answer from the
+                # snapshot they were admitted against.
+                served += flush(searches)
+                searches = []
+                try:
+                    conn.send(("ok", rid, engine.mutate(payload)))
+                except Exception as exc:  # noqa: BLE001 - shaped upstream
+                    conn.send(("err", rid, _picklable(exc)))
             elif kind == "stats":
                 stats = engine.stats()
                 uptime = max(time.monotonic() - started, 1e-9)
@@ -157,23 +194,7 @@ def _worker_loop(conn, engine: Engine, worker_index: int, max_batch: int) -> Non
                 conn.send(("ok", rid, True))
             elif kind == "stop":
                 stop = True
-        if searches:
-            requests = [request for _rid, request in searches]
-            try:
-                results = engine._search_requests(requests)
-                for (rid, _request), result in zip(searches, results):
-                    conn.send(("ok", rid, (result, len(requests))))
-            except Exception:  # noqa: BLE001 - isolate the poisoned request
-                # One bad request (unknown seeker, ...) poisons the
-                # lock-step call; re-run individually so its co-batched
-                # neighbors still answer, like the Batcher's fallback.
-                for rid, request in searches:
-                    try:
-                        result = engine._search_requests([request])[0]
-                        conn.send(("ok", rid, (result, 1)))
-                    except Exception as exc:  # noqa: BLE001 - shaped upstream
-                        conn.send(("err", rid, _picklable(exc)))
-            served += len(searches)
+        served += flush(searches)
     engine.close()
     conn.close()
 
@@ -354,8 +375,10 @@ class ShardedEngine:
     """Router facade: ``Engine``-shaped API over N worker processes.
 
     Speaks the same entry points as :class:`Engine` (``search``,
-    ``search_many``, ``asearch``, ``stats``, ``aclose``), so the HTTP
-    tier, the JSONL loop and the CLI front it unchanged.  Construct from
+    ``search_many``, ``asearch``, ``mutate``, ``amutate``, ``stats``,
+    ``aclose``), so the HTTP tier, the JSONL loop and the CLI front it
+    unchanged.  Writes broadcast to every worker under a barrier (see
+    :meth:`mutate`), so the shards stay bit-identical replicas.  Construct from
     a live instance/engine (tests, benchmarks) or from a SQLite store
     with :meth:`from_store` (production: slabs are exported to an
     mmap'able sidecar so workers share one physical copy).
@@ -408,6 +431,10 @@ class ShardedEngine:
         self._closed = False
         self._close_lock = threading.Lock()
         self._hook_pool: Optional[ThreadPoolExecutor] = None
+        #: serializes mutation barriers: writes reach every worker in one
+        #: global order, so all shards replay the identical delta chain.
+        self._mutation_lock = threading.Lock()
+        self._mutation_generation = 0
         self._started = time.monotonic()
         self._shards = [
             _Shard(index, self._context, engine, self.config.max_batch_size)
@@ -636,6 +663,51 @@ class ShardedEngine:
         )
 
     # ------------------------------------------------------------------
+    # Mutations (barrier broadcast)
+    # ------------------------------------------------------------------
+    def mutate(self, mutation: object) -> MutationResponse:
+        """Apply one typed write on every shard, with a barrier.
+
+        The router's warm engine is mutated **first**: a worker that
+        dies at any point respawns by forking that image, so the
+        replacement already carries the write and never needs a replay.
+        The request is then broadcast to every live worker and the call
+        blocks until all of them acknowledge — once ``mutate`` returns,
+        a query submitted to *any* shard answers from the new instance
+        version.  Queries already in flight during the barrier may still
+        answer from the pre-write snapshot; that window is the staleness
+        the live-mutation benchmark measures.  Because every worker
+        applies the identical :class:`MutationRequest` through the same
+        deterministic delta path, the shards stay bit-identical replicas
+        of each other and of a from-scratch rebuild.
+        """
+        request = MutationRequest.from_obj(mutation)
+        started = time.perf_counter()
+        with self._mutation_lock:
+            response = self._engine.mutate(request)
+            futures = [
+                (shard, shard.submit("mutate", request))
+                for shard in self._shards
+            ]
+            for shard, future in futures:
+                try:
+                    future.result(self._call_timeout)
+                except Exception:  # noqa: BLE001 - dead worker: see below
+                    # A worker lost mid-barrier respawns from the
+                    # router's already-mutated image — the replacement
+                    # is current, not stale, so the barrier holds.
+                    shard.counters["errors"] += 1
+            self._mutation_generation += 1
+        response.latency_seconds = time.perf_counter() - started
+        return response
+
+    async def amutate(self, mutation: object) -> MutationResponse:
+        """Async :meth:`mutate` (the HTTP tier and the JSONL loop call
+        this): the barrier blocks, so it runs off the event loop."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.mutate, mutation)
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -704,10 +776,11 @@ class ShardedEngine:
             "queries_served": 0,
             "kernel_rebuilds": 0,
             "instance_version": self.instance.version,
-            "kernel_version": self._engine._kernel_version,
+            "kernel_version": self._engine.kernel_version,
         }
         rollup_cache: Dict[str, int] = {"hits": 0, "misses": 0, "size": 0, "maxsize": 0}
         rollup_batcher: Dict[str, float] = {}
+        rollup_maintenance: Dict[str, float] = {}
         shard_sections: Dict[str, Dict[str, object]] = {}
         answered_total = 0
         for shard in self._shards:
@@ -739,6 +812,10 @@ class ShardedEngine:
                     rollup_cache["maxsize"], cache_section.get("maxsize", 0)
                 )
                 _merge_batcher_counters(rollup_batcher, worker.get("batcher", {}))
+                for name, value in worker.get("maintenance", {}).items():
+                    rollup_maintenance[name] = (
+                        rollup_maintenance.get(name, 0) + value
+                    )
                 section["cache_hits"] = cache_section.get("hits", 0)
                 section["cache_misses"] = cache_section.get("misses", 0)
                 section["worker_qps"] = worker.get("worker", {}).get("qps", 0.0)
@@ -751,6 +828,7 @@ class ShardedEngine:
             "answered": answered_total,
             "errors": sum(s.counters["errors"] for s in self._shards),
             "worker_respawns": sum(s.counters["respawns"] for s in self._shards),
+            "mutation_generation": self._mutation_generation,
             "inflight": sum(s.inflight for s in self._shards),
             "qps": round(answered_total / uptime, 3),
             "slab_backend": (
@@ -764,6 +842,7 @@ class ShardedEngine:
         return {
             "engine": rollup_engine,
             "router": router,
+            "maintenance": rollup_maintenance,
             "result_cache": rollup_cache,
             "connection_index": connection,
             "batcher": rollup_batcher,

@@ -138,6 +138,30 @@ def saturate(graph: RDFGraph) -> int:
     return added
 
 
+def saturate_from(graph: RDFGraph, frontier: Iterable[Triple]) -> List[Triple]:
+    """Close *graph* over what the already-present *frontier* entails.
+
+    Semi-naive delta closure: *frontier* must already be in *graph* (the
+    base facts of a mutation); only rule instances with at least one
+    premise in the frontier (or in triples derived from it) are matched,
+    so the cost is proportional to the delta, not the graph.  Returns the
+    newly derived triples in derivation order.  Because the closure is a
+    unique set fixpoint, the resulting graph equals a full
+    :func:`saturate` from scratch whenever the rest of the graph was
+    already saturated.
+    """
+    pending: List[Triple] = list(frontier)
+    derived_all: List[Triple] = []
+    while pending:
+        derived = _immediate_entailments(graph, pending)
+        pending = []
+        for triple in derived:
+            if graph.add(triple.subject, triple.predicate, triple.object, 1.0):
+                pending.append(triple)
+                derived_all.append(triple)
+    return derived_all
+
+
 def add_and_saturate(graph: RDFGraph, triples: Iterable[Triple]) -> int:
     """Incrementally add weight-1 *triples* and re-saturate; return # added.
 

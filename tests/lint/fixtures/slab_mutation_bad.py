@@ -35,3 +35,21 @@ def mutates_an_adoption_parameter(header, arrays):
 def fills_an_exported_bundle(slab):
     bundle = slab.arrays()
     bundle["candidate_order"].fill(0)  # BAD: .arrays() hands out the slabs
+
+
+def patches_a_warm_seed_in_place(component, warm):
+    warm.node_activity[0, 0] = True  # BAD: the warm seed is the old slab
+
+
+def sorts_a_warm_field(warm):
+    warm.tag_uris.sort()  # BAD: in-place sort of the adopted slab's field
+
+
+def augments_through_a_field_alias(warm):
+    activity = warm.node_activity
+    activity += 1  # BAD: the alias still points into shared memory
+
+
+def writes_a_looked_up_slab(index, ident):
+    slab = index.slab(ident)
+    slab.ev_node[0] = 3  # BAD: .slab() hands out the shared arrays

@@ -38,3 +38,21 @@ def plain_dict_get_is_not_a_store(counters, key):
     if bucket is not None:
         bucket[0] = 1  # a dict named 'counters' is not a slab store
     return bucket
+
+
+def seeds_from_a_warm_slab(warm, n_nodes):
+    seed = np.zeros(n_nodes, dtype=bool)
+    seed[:] = warm.node_activity[0]  # reading the old slab is the point
+    return seed
+
+
+def copies_a_warm_field_before_mutating(warm):
+    mine = warm.node_activity.copy()  # a copy breaks the sharing
+    mine[0] = True
+    mine.sort()
+    return mine
+
+
+def registers_a_rebuilt_slab(index, ident, fresh):
+    index._slabs[ident] = fresh  # swapping the registry entry is the
+    return index._slabs[ident]   # sanctioned copy-on-patch move

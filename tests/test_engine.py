@@ -209,8 +209,10 @@ class TestEngineFacade:
             "connection_index",
             "batcher",
             "exploration",
+            "maintenance",
         }
         assert stats["engine"]["queries_served"] == 1
+        assert stats["maintenance"]["mutations_applied"] == 0
         assert stats["result_cache"]["misses"] == 1
         assert stats["connection_index"]["components_built"] >= 1
         assert stats["batcher"] == {}  # async path never used
@@ -273,17 +275,23 @@ class TestEngineFacade:
         assert engine.search("u1", ["degre"], 1).request.k == 1
 
     def test_stats_is_a_pure_read(self):
-        """Polling stats() after a mutation must not rebuild the kernel."""
+        """Polling stats() after a mutation must not refresh the kernel."""
         engine = Engine(figure1_instance())
         engine.search("u1", ["degre"], k=3)
         engine.add_tag(Tag(URI("t:p"), URI("d0.3.1"), URI("u0"), keyword="degre"))
         before = engine.stats()["engine"]
         assert before["kernel_rebuilds"] == 0  # poll did not rebuild
         assert before["instance_version"] > before["kernel_version"]
-        engine.search("u1", ["degre"], k=3)  # the query pays the rebuild
-        after = engine.stats()["engine"]
-        assert after["kernel_rebuilds"] == 1
-        assert after["instance_version"] == after["kernel_version"]
+        assert engine.stats()["maintenance"]["deltas_applied"] == 0
+        engine.search("u1", ["degre"], k=3)  # the query pays the catch-up
+        after = engine.stats()
+        # An expressible tag write is consumed as a delta, not a rebuild.
+        assert after["engine"]["kernel_rebuilds"] == 0
+        assert after["maintenance"]["deltas_applied"] == 1
+        assert (
+            after["engine"]["instance_version"]
+            == after["engine"]["kernel_version"]
+        )
 
     def test_s3k_runner_is_deprecated_alias(self):
         from repro.queries import s3k_runner
@@ -305,8 +313,11 @@ class TestFacadeInvalidation:
         engine.add_tag(Tag(URI("t:new"), URI("d0.3.1"), URI("u0"), keyword="campus"))
         after = engine.search("u1", ["campus"], k=5)
         stats = engine.stats()
-        assert stats["engine"]["kernel_rebuilds"] == 1
-        assert stats["result_cache"]["hits"] == 0  # caches dropped with the kernel
+        # The expressible tag write is patched in as a delta; the stale
+        # cached answer is evicted (a second miss), not replayed.
+        assert stats["engine"]["kernel_rebuilds"] == 0
+        assert stats["maintenance"]["deltas_applied"] == 1
+        assert stats["result_cache"]["misses"] == 2
         assert URI("d0.3.1") in [r.uri for r in after.results]
         fresh = S3kSearch(engine.instance).search("u1", ["campus"], k=5)
         assert after.result.results == fresh.results

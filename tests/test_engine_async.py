@@ -427,7 +427,10 @@ class TestAsyncLifecycle:
         fresh = S3kSearch(engine.instance).search("u1", ["campus"], k=5)
         assert after.result.results == fresh.results
         assert after.result.results != before.result.results
-        assert engine.stats()["engine"]["kernel_rebuilds"] == 1
+        # The tag write rides the delta path — no full rebuild.
+        stats = engine.stats()
+        assert stats["engine"]["kernel_rebuilds"] == 0
+        assert stats["maintenance"]["deltas_applied"] == 1
 
     @staticmethod
     async def _one(engine, query):
@@ -460,7 +463,7 @@ class TestAsyncLifecycle:
         from repro.engine import serve_lines
 
         counters = run(serve_lines(engine, lines, written.append))
-        assert counters == {"requests": 3, "answered": 2, "errors": 1}
+        assert counters == {"requests": 3, "answered": 2, "mutated": 0, "errors": 1}
         records = {record["id"]: record for record in map(json.loads, written)}
         assert records[0]["results"] == records["dup"]["results"]
         assert "error" in records[3]

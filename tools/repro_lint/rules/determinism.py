@@ -74,14 +74,18 @@ def _calls_with_scope(tree: ast.Module):
 
 
 #: functions allowed to read monotonic clocks: the anytime time_budget
-#: machinery of Section 4.1 and the build-cost accounting counters.
+#: machinery of Section 4.1, the build-cost accounting counters, and
+#: the delta-maintenance patch timers (telemetry only — the clock never
+#: influences what a patch computes, just how its cost is reported).
 _BUDGET_HOOKS = (
     "S3kSearch._prepare_query",
     "S3kSearch._check_stop",
     "S3kSearch._finish",
     "S3kSearch.search",
     "S3kSearch.search_many",
+    "S3kSearch.apply_deltas",
     "ConnectionIndex.slab",
+    "ConnectionIndex.apply_delta",
 )
 
 

@@ -11,12 +11,23 @@ runtime backstop sets ``writeable = False`` on adopted arrays; this
 rule catches the write before it ever runs.
 
 Detection is taint-based per function scope: values coming out of a
-slab store (``<*store*>.get(...)``, ``.arrays()`` bundles, parameters
-named ``arrays`` — the adoption entry points' signature convention)
-are tainted; taint follows plain assignment and subscripting.  Flagged
-on tainted values: subscript stores, augmented assignment, mutating
+slab store (``<*store*>.get(...)``, ``.arrays()`` bundles,
+``.slab(...)`` lookups, parameters named ``arrays`` / ``warm`` /
+``adopted`` — the adoption and delta-application entry points'
+signature conventions) are tainted; taint follows plain assignment,
+subscripting and attribute access (``warm.node_activity`` is the
+adopted slab's array, and so is any alias of it), while ``.copy()``
+launders — a private copy is the sanctioned way to mutate.  Flagged on
+tainted values: subscript stores, augmented assignment, mutating
 method calls (``sort`` / ``fill`` / ``resize`` / ``partition`` /
 ``put`` / ``setflags`` / ``byteswap``), and passing one as ``out=``.
+
+The delta-application paths make this load-bearing: incremental
+maintenance (``ConnectionIndex.apply_delta`` warm-reseeding,
+``ProximityIndex.apply_delta`` row patches) runs against indexes whose
+arrays may be adopted shm/mmap views, so every patch must be
+copy-on-write — build fresh arrays, swap references, never write the
+old ones.
 """
 
 from __future__ import annotations
@@ -42,7 +53,11 @@ _MUTATORS = (
 #: substrings is treated as a slab store
 _STORE_HINTS = ("store", "slab")
 
-_TAINTED_PARAMS = ("arrays", "slab_arrays")
+_TAINTED_PARAMS = ("arrays", "slab_arrays", "warm", "adopted")
+
+#: method calls whose *name* marks the receiver as handing out slab
+#: arrays, wherever it lives (``slab.arrays()``, ``index.slab(ident)``)
+_SOURCE_METHODS = ("arrays", "slab")
 
 
 def _receiver_hint(func: ast.expr) -> bool:
@@ -63,7 +78,7 @@ def _receiver_hint(func: ast.expr) -> bool:
 def _is_taint_source(node: ast.expr) -> bool:
     if isinstance(node, ast.Call):
         func = node.func
-        if isinstance(func, ast.Attribute) and func.attr == "arrays":
+        if isinstance(func, ast.Attribute) and func.attr in _SOURCE_METHODS:
             return True
         return _receiver_hint(func)
     return False
@@ -79,6 +94,10 @@ class _Scope:
         if isinstance(node, ast.Name):
             return node.id in self.tainted
         if isinstance(node, ast.Subscript):
+            return self.is_tainted(node.value)
+        if isinstance(node, ast.Attribute):
+            # A field of a tainted slab handle (``warm.node_activity``)
+            # is one of its adopted arrays.
             return self.is_tainted(node.value)
         if isinstance(node, ast.expr) and _is_taint_source(node):
             return True
